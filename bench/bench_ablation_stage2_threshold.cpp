@@ -1,0 +1,47 @@
+// Ablation: the stage-2 promotion threshold (paper: estimated yield > 97%
+// moves a candidate to the accurate n_max estimation).  Sweeps the
+// threshold on example 1 and reports accuracy/cost.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/circuit_yield.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/stats/rng.hpp"
+#include "src/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moheco;
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv, "Ablation: stage-2 promotion threshold");
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  ThreadPool pool(options.threads);
+
+  Table table({"threshold", "avg deviation", "avg sims"});
+  for (double threshold : {0.90, 0.97, 0.995}) {
+    stats::Welford deviations, sims;
+    for (int run = 0; run < options.runs; ++run) {
+      core::MohecoOptions o = bench::base_options(options);
+      o.seed = stats::derive_seed(options.seed, 0xAB2, run);
+      o.estimation.stage2_threshold = threshold;
+      const core::MohecoResult r = core::MohecoOptimizer(problem, o).run();
+      sims.add(static_cast<double>(r.total_simulations));
+      if (!r.best.fitness.feasible) continue;  // no yield to compare
+      const double reference = mc::reference_yield(
+          problem, r.best.x, options.reference_samples, 78, pool);
+      deviations.add(std::fabs(r.best.fitness.yield - reference));
+    }
+    char t[32], d[32], s[32];
+    std::snprintf(t, sizeof(t), "%.1f%%", 100.0 * threshold);
+    if (deviations.count() > 0) {
+      std::snprintf(d, sizeof(d), "%.2f%%", 100.0 * deviations.mean());
+    } else {
+      std::snprintf(d, sizeof(d), "n/a");
+    }
+    std::snprintf(s, sizeof(s), "%.0f", sims.mean());
+    table.add_row({t, d, s});
+  }
+  table.print(std::cout, "Example 1, " + std::to_string(options.runs) +
+                             " runs per setting (paper uses 97%)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Section 3.4 of the paper (PSWCD comparison): spec-wise worst-case design
+// over-designs because the per-spec worst-case process points cannot occur
+// simultaneously.  We quantify it on example 1: optimize with PSWCD
+// (minimum power subject to worst-case feasibility) and with MOHECO
+// (maximum yield), then compare power and true (reference-MC) yield, and
+// show that PSWCD rejects MOHECO's high-yield design.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/circuit_yield.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/wcd/pswcd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moheco;
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv, "Section 3.4: PSWCD over-design on example 1");
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  ThreadPool pool(options.threads);
+
+  // MOHECO reference design.
+  core::MohecoOptions moheco_options = bench::base_options(options);
+  moheco_options.seed = options.seed;
+  const core::MohecoResult moheco =
+      core::MohecoOptimizer(problem, moheco_options).run();
+  const double moheco_yield =
+      moheco.best.fitness.feasible
+          ? mc::reference_yield(problem, moheco.best.x,
+                                options.reference_samples, 99, pool)
+          : 0.0;
+  const circuits::Performance moheco_perf =
+      problem.performance(moheco.best.x, {});
+
+  // PSWCD design.
+  wcd::PswcdOptions pswcd_options;
+  pswcd_options.threads = options.threads;
+  pswcd_options.seed = options.seed;
+  pswcd_options.population = moheco_options.population;
+  pswcd_options.max_generations =
+      options.scale == BenchScale::kFull ? 80 : 50;
+  wcd::PswcdOptimizer pswcd(problem, pswcd_options);
+  const wcd::PswcdResult wc = pswcd.run();
+  const double pswcd_yield =
+      wc.best_report.nominal_feasible
+          ? mc::reference_yield(problem, wc.best_x,
+                                options.reference_samples, 99, pool)
+          : 0.0;
+  const circuits::Performance pswcd_perf = problem.performance(wc.best_x, {});
+
+  Table table({"method", "wc-feasible", "nominal power", "true yield",
+               "simulations"});
+  char power[32], yield[32];
+  std::snprintf(power, sizeof(power), "%.3f mW", 1e3 * pswcd_perf.power);
+  std::snprintf(yield, sizeof(yield), "%.2f%%", 100.0 * pswcd_yield);
+  table.add_row({"PSWCD (min power s.t. worst case)",
+                 wc.best_report.feasible ? "yes" : "no", power, yield,
+                 std::to_string(wc.total_simulations)});
+  std::snprintf(power, sizeof(power), "%.3f mW", 1e3 * moheco_perf.power);
+  std::snprintf(yield, sizeof(yield), "%.2f%%", 100.0 * moheco_yield);
+  const wcd::WorstCaseReport moheco_wc = pswcd.analyze(moheco.best.x);
+  table.add_row({"MOHECO (max yield)",
+                 moheco_wc.feasible ? "yes" : "no", power, yield,
+                 std::to_string(moheco.total_simulations)});
+  table.print(std::cout, "PSWCD vs MOHECO on example 1");
+
+  if (!moheco_wc.feasible && moheco_yield > 0.95) {
+    std::printf("over-design confirmed: MOHECO's design has %.2f%% true "
+                "yield yet PSWCD rejects it (combined worst-case violation "
+                "%.3f)\n",
+                100.0 * moheco_yield, moheco_wc.worst_violation);
+  }
+  std::cout << "paper: PSWCD eliminates good designs because separate "
+               "per-spec worst cases cannot be reached simultaneously\n";
+  return 0;
+}

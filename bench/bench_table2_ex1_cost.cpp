@@ -1,0 +1,19 @@
+// Table 2 of the paper: total number of simulations, example 1.
+#include <iostream>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/circuit_yield.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moheco;
+  const BenchOptions options =
+      bench::bench_prologue(argc, argv, "Table 2: example 1 simulation cost");
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  const auto methods = bench::example1_methods();
+  const bench::StudyData data =
+      bench::run_example_study("ex1", problem, methods, options);
+  bench::print_cost_table(data, methods, "Total number of simulations");
+  std::cout << "paper shape: MOHECO ~1/7 (14.06%) and OO+AS+LHS ~1/4.3 "
+               "(23.16%) of the AS+LHS@500 budget\n";
+  return 0;
+}

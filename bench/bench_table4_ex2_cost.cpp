@@ -1,0 +1,19 @@
+// Table 4 of the paper: total number of simulations, example 2.
+#include <iostream>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/circuit_yield.hpp"
+
+int main(int argc, char** argv) {
+  using namespace moheco;
+  const BenchOptions options =
+      bench::bench_prologue(argc, argv, "Table 4: example 2 simulation cost");
+  circuits::CircuitYieldProblem problem(
+      circuits::make_two_stage_telescopic());
+  const auto methods = bench::example2_methods();
+  const bench::StudyData data =
+      bench::run_example_study("ex2", problem, methods, options);
+  bench::print_cost_table(data, methods, "Total number of simulations");
+  std::cout << "paper shape: MOHECO ~14.16% of the AS+LHS@500 budget\n";
+  return 0;
+}

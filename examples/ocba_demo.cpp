@@ -1,0 +1,51 @@
+// OCBA in isolation: given ten candidate designs with known yields, show
+// how equation (1) concentrates the simulation budget on the contenders
+// for the top spot -- the mechanism behind the paper's Fig. 3.
+#include <cstdio>
+
+#include "src/common/parallel.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/ocba.hpp"
+#include "src/mc/synthetic.hpp"
+
+int main() {
+  using namespace moheco;
+  using namespace moheco::mc;
+
+  const BernoulliArmsProblem problem(
+      {0.92, 0.89, 0.75, 0.60, 0.45, 0.30, 0.88, 0.20, 0.55, 0.92});
+  ThreadPool pool;
+  SimCounter sims;
+
+  std::vector<std::unique_ptr<CandidateYield>> owners;
+  std::vector<CandidateYield*> candidates;
+  for (std::size_t i = 0; i < problem.yields().size(); ++i) {
+    owners.push_back(std::make_unique<CandidateYield>(
+        problem, std::vector<double>{static_cast<double>(i)}, 1000 + i,
+        pool.num_workers()));
+    candidates.push_back(owners.back().get());
+  }
+
+  TwoStageOptions options;  // n0 = 15, sim_avg = 35 (paper settings)
+  options.n_max = 500;
+  options.mc.sampling = stats::SamplingMethod::kPMC;
+  two_stage_estimate(candidates, options, pool, sims);
+
+  std::printf("%-6s %-12s %-12s %-10s %s\n", "arm", "true yield",
+              "estimate", "samples", "budget share");
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    const auto& c = *owners[i];
+    std::printf("%-6zu %-12.2f %-12.3f %-10lld %s\n", i,
+                problem.yields()[i], c.mean(), c.samples(),
+                std::string(static_cast<std::size_t>(
+                                60.0 * c.samples() / sims.total()),
+                            '#')
+                    .c_str());
+  }
+  std::printf("total simulations: %lld (equal allocation would be %lld per "
+              "arm)\n",
+              sims.total(), sims.total() / 10);
+  std::printf("note how the near-best arms absorb the budget while clearly "
+              "bad arms stay at the pilot count.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "src/circuits/circuit_yield.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+class CircuitSession final : public mc::YieldProblem::Session {
+ public:
+  CircuitSession(const AmplifierEvaluator& evaluator,
+                 std::span<const double> x, std::span<const Spec> specs)
+      : session_(evaluator.session(x)), specs_(specs) {}
+
+  mc::SampleResult evaluate(std::span<const double> xi) override {
+    const Performance perf = session_->evaluate(xi);
+    mc::SampleResult r;
+    r.pass = passes(perf, specs_);
+    r.violation = r.pass ? 0.0 : violation(perf, specs_);
+    return r;
+  }
+
+ private:
+  std::unique_ptr<AmplifierEvaluator::Session> session_;
+  std::span<const Spec> specs_;
+};
+
+}  // namespace
+
+CircuitYieldProblem::CircuitYieldProblem(
+    std::shared_ptr<const Topology> topology)
+    : evaluator_(std::move(topology)) {}
+
+std::size_t CircuitYieldProblem::num_design_vars() const {
+  return evaluator_.topology().design_vars().size();
+}
+
+double CircuitYieldProblem::lower_bound(std::size_t i) const {
+  return evaluator_.topology().design_vars().at(i).lo;
+}
+
+double CircuitYieldProblem::upper_bound(std::size_t i) const {
+  return evaluator_.topology().design_vars().at(i).hi;
+}
+
+std::size_t CircuitYieldProblem::noise_dim() const {
+  return static_cast<std::size_t>(evaluator_.process().dim());
+}
+
+std::unique_ptr<mc::YieldProblem::Session> CircuitYieldProblem::open(
+    std::span<const double> x) const {
+  return std::make_unique<CircuitSession>(evaluator_, x,
+                                          evaluator_.topology().specs());
+}
+
+}  // namespace moheco::circuits

@@ -1,0 +1,38 @@
+// Adapter exposing an amplifier topology as an mc::YieldProblem: the design
+// space comes from the topology's design variables, the noise space from
+// its process model, and a sample passes when all specs are met.
+#pragma once
+
+#include <memory>
+
+#include "src/circuits/evaluator.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/mc/yield_problem.hpp"
+
+namespace moheco::circuits {
+
+class CircuitYieldProblem final : public mc::YieldProblem {
+ public:
+  explicit CircuitYieldProblem(std::shared_ptr<const Topology> topology);
+
+  std::size_t num_design_vars() const override;
+  double lower_bound(std::size_t i) const override;
+  double upper_bound(std::size_t i) const override;
+  std::size_t noise_dim() const override;
+  std::unique_ptr<Session> open(std::span<const double> x) const override;
+
+  const Topology& topology() const { return evaluator_.topology(); }
+  const AmplifierEvaluator& evaluator() const { return evaluator_; }
+
+  /// Full performance readout at (x, xi) -- used by diagnostics and the
+  /// PSWCD baseline, which needs individual metrics rather than pass/fail.
+  Performance performance(std::span<const double> x,
+                          std::span<const double> xi) const {
+    return evaluator_.evaluate(x, xi);
+  }
+
+ private:
+  AmplifierEvaluator evaluator_;
+};
+
+}  // namespace moheco::circuits

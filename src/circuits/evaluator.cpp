@@ -1,0 +1,185 @@
+#include "src/circuits/evaluator.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "src/circuits/testbench.hpp"
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+constexpr double kMaxFrequency = 1e14;  // Hz; beyond this "no crossing"
+
+}  // namespace
+
+AmplifierEvaluator::AmplifierEvaluator(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)),
+      process_(topology_->tech(), topology_->num_transistors()) {}
+
+std::unique_ptr<AmplifierEvaluator::Session> AmplifierEvaluator::session(
+    std::span<const double> x) const {
+  return std::make_unique<Session>(*this, x);
+}
+
+Performance AmplifierEvaluator::evaluate(std::span<const double> x,
+                                         std::span<const double> xi) const {
+  Session s(*this, x);
+  return xi.empty() ? s.nominal() : s.evaluate(xi);
+}
+
+AmplifierEvaluator::Session::Session(const AmplifierEvaluator& parent,
+                                     std::span<const double> x)
+    : parent_(&parent), circuit_(parent.topology().build(x)) {
+  require(static_cast<int>(circuit_.netlist.mosfets().size()) ==
+              parent.topology().num_transistors(),
+          "Session: topology transistor count mismatch");
+  base_cards_.reserve(circuit_.netlist.mosfets().size());
+  for (const auto& m : circuit_.netlist.mosfets()) {
+    base_cards_.push_back(m.model);
+  }
+  dc_ = std::make_unique<spice::DcSolver>(circuit_.netlist);
+  nominal_perf_ = measure(/*is_nominal=*/true);
+}
+
+void AmplifierEvaluator::Session::apply_process(std::span<const double> xi) {
+  const ProcessModel& process = parent_->process_;
+  for (std::size_t i = 0; i < base_cards_.size(); ++i) {
+    spice::Mosfet& m = circuit_.netlist.mosfet(static_cast<int>(i));
+    if (xi.empty()) {
+      m.model = base_cards_[i];
+    } else {
+      m.model = apply_deltas(
+          base_cards_[i],
+          process.device_deltas(xi, static_cast<int>(i), m.is_pmos, m.w, m.l));
+    }
+  }
+}
+
+Performance AmplifierEvaluator::Session::evaluate(std::span<const double> xi) {
+  if (xi.empty()) return nominal_perf_;
+  apply_process(xi);
+  return measure(/*is_nominal=*/false);
+}
+
+Performance AmplifierEvaluator::Session::measure(bool is_nominal) {
+  Performance perf;
+  perf.area = circuit_.gate_area;
+
+  // --- DC operating point (warm-started from the nominal solution). ---
+  spice::DcOptions dc_options;
+  std::vector<double> x;
+  if (have_nominal_solution_) x = nominal_solution_;
+  const spice::SolveStatus dc_status = dc_->solve(dc_options, &x);
+  if (dc_status != spice::SolveStatus::kOk) return perf;
+  if (is_nominal) {
+    nominal_solution_ = x;
+    have_nominal_solution_ = true;
+  }
+  const spice::OperatingPoint& op = dc_->op();
+
+  perf.power =
+      circuit_.vdd * std::fabs(op.vsource_current[circuit_.vdd_source]);
+  perf.offset = std::fabs(op.node_voltage[circuit_.outp] -
+                          op.node_voltage[circuit_.outn]);
+
+  double sat_margin = 1e9;
+  for (const auto& mos : op.mosfets) {
+    sat_margin = std::min(sat_margin, mos.sat_margin);
+  }
+  perf.sat_margin = sat_margin;
+
+  double top = 0.0, bottom = 0.0;
+  for (int i : circuit_.swing_top) top += op.mosfets[i].eval.vdsat;
+  for (int i : circuit_.swing_bottom) bottom += op.mosfets[i].eval.vdsat;
+  perf.swing = 2.0 * (circuit_.vdd - top - bottom);
+
+  // --- AC: A0, GBW (log bisection on |H| = 1), phase margin. ---
+  spice::AcSolver ac(circuit_.netlist, op);
+  auto transfer = [&](double freq,
+                      std::complex<double>* h) -> spice::SolveStatus {
+    const spice::SolveStatus status = ac.solve(freq);
+    if (status == spice::SolveStatus::kOk) {
+      *h = ac.differential(circuit_.outp, circuit_.outn);
+    }
+    return status;
+  };
+
+  std::complex<double> h0;
+  if (transfer(kAcFrequencyLow, &h0) != spice::SolveStatus::kOk) return perf;
+  const double mag0 = std::abs(h0);
+  if (!(mag0 > 0.0) || !std::isfinite(mag0)) return perf;
+  perf.a0_db = 20.0 * std::log10(mag0);
+
+  if (mag0 <= 1.0) {
+    // Gain below 0 dB: no unity crossing; report a broken-but-valid sample.
+    perf.gbw = 0.0;
+    perf.pm_deg = -180.0;
+    perf.valid = true;
+    return perf;
+  }
+
+  auto magnitude_at = [&](double freq, bool* ok) {
+    std::complex<double> h;
+    *ok = transfer(freq, &h) == spice::SolveStatus::kOk;
+    return std::abs(h);
+  };
+
+  bool ok = true;
+  double fa = kAcFrequencyLow;            // |H| > 1 here
+  double fb = 0.0;                        // will satisfy |H| < 1
+  double seed = last_crossing_ > 0.0 ? last_crossing_ : 1e6;
+  const double mag_seed = magnitude_at(seed, &ok);
+  if (!ok) return perf;
+  if (mag_seed > 1.0) {
+    fa = seed;
+    fb = seed;
+    do {
+      fb *= 4.0;
+      if (fb > kMaxFrequency) {
+        perf.gbw = kMaxFrequency;
+        perf.pm_deg = 0.0;
+        perf.valid = true;
+        return perf;
+      }
+      const double m = magnitude_at(fb, &ok);
+      if (!ok) return perf;
+      if (m <= 1.0) break;
+      fa = fb;
+    } while (true);
+  } else {
+    fb = seed;
+    double fcur = seed;
+    while (fcur > 4.0 * kAcFrequencyLow) {
+      fcur *= 0.25;
+      const double m = magnitude_at(fcur, &ok);
+      if (!ok) return perf;
+      if (m > 1.0) {
+        fa = fcur;
+        break;
+      }
+      fb = fcur;
+    }
+  }
+  for (int iter = 0; iter < 48 && fb / fa > 1.002; ++iter) {
+    const double fm = std::sqrt(fa * fb);
+    const double m = magnitude_at(fm, &ok);
+    if (!ok) return perf;
+    (m > 1.0 ? fa : fb) = fm;
+  }
+  perf.gbw = std::sqrt(fa * fb);
+  // Only the nominal measurement seeds the crossing search: sample results
+  // must be pure functions of (x, xi), independent of evaluation order.
+  if (is_nominal) last_crossing_ = perf.gbw;
+
+  std::complex<double> hc;
+  if (transfer(perf.gbw, &hc) != spice::SolveStatus::kOk) return perf;
+  // Normalize by the DC response so a constant output inversion does not
+  // shift the phase reference.
+  const double phase_rel = std::arg(hc / h0);
+  perf.pm_deg = 180.0 + phase_rel * 180.0 / M_PI;
+  perf.valid = true;
+  return perf;
+}
+
+}  // namespace moheco::circuits

@@ -1,0 +1,67 @@
+// Amplifier performance evaluator: the "circuit performance evaluator" role
+// HSPICE plays in the paper.
+//
+// Evaluation is organized in sessions: a Session is bound to one design
+// point x, builds the sized netlist once, solves the nominal operating
+// point, and then evaluates process samples by perturbing the device model
+// cards in place (topology and MNA layout never change), warm-starting each
+// DC solve from the nominal solution.  Sessions are independent, so the
+// Monte-Carlo driver gives each worker thread its own session.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/circuits/performance.hpp"
+#include "src/circuits/process.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/spice/ac_solver.hpp"
+#include "src/spice/dc_solver.hpp"
+
+namespace moheco::circuits {
+
+class AmplifierEvaluator {
+ public:
+  explicit AmplifierEvaluator(std::shared_ptr<const Topology> topology);
+
+  const Topology& topology() const { return *topology_; }
+  const ProcessModel& process() const { return process_; }
+
+  class Session {
+   public:
+    Session(const AmplifierEvaluator& parent, std::span<const double> x);
+
+    /// Evaluates one process sample; pass an empty span for the nominal
+    /// point.  `xi` must otherwise have process().dim() entries.
+    Performance evaluate(std::span<const double> xi);
+
+    /// The nominal-point performance (computed on construction).
+    const Performance& nominal() const { return nominal_perf_; }
+
+   private:
+    Performance measure(bool is_nominal);
+    void apply_process(std::span<const double> xi);
+
+    const AmplifierEvaluator* parent_;
+    BuiltCircuit circuit_;
+    std::vector<spice::MosModel> base_cards_;
+    std::unique_ptr<spice::DcSolver> dc_;
+    std::vector<double> nominal_solution_;
+    bool have_nominal_solution_ = false;
+    Performance nominal_perf_;
+    double last_crossing_ = 0.0;  ///< GBW of previous sample (search seed)
+  };
+
+  std::unique_ptr<Session> session(std::span<const double> x) const;
+
+  /// One-shot convenience (creates a throwaway session).
+  Performance evaluate(std::span<const double> x,
+                       std::span<const double> xi) const;
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  ProcessModel process_;
+};
+
+}  // namespace moheco::circuits

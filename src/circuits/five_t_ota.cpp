@@ -1,0 +1,92 @@
+// A single-ended five-transistor OTA (NMOS input pair, PMOS mirror load,
+// NMOS tail device biased by a gate-voltage design variable).  Used by the
+// quickstart example and as a fast circuit for tests: it has 5 transistors,
+// so its process space is 5*4 + 20 = 40 variables on the 0.35um card.
+#include <memory>
+
+#include "src/circuits/testbench.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+constexpr double kCload = 2.0e-12;
+constexpr double kVcm = 1.8;
+
+class FiveTransistorOta final : public Topology {
+ public:
+  FiveTransistorOta()
+      : vars_{{"w_in", 5e-6, 2e-4},
+              {"w_load", 5e-6, 2e-4},
+              {"w_tail", 5e-6, 2e-4},
+              {"l", 3.5e-7, 1.5e-6},
+              {"vbias", 0.7, 1.4}},
+        specs_{lower_spec(Metric::kA0Db, 34.0, 2.0, "A0>=34dB"),
+               lower_spec(Metric::kGbw, 10e6, 1e6, "GBW>=10MHz"),
+               lower_spec(Metric::kPmDeg, 60.0, 5.0, "PM>=60deg"),
+               lower_spec(Metric::kSwing, 4.0, 0.2, "OS>=4.0V"),
+               upper_spec(Metric::kPower, 1e-3, 1e-4, "power<=1mW"),
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+
+  std::string name() const override { return "five_t_ota_035"; }
+  const Technology& tech() const override { return tech035(); }
+  int num_transistors() const override { return 5; }
+  const std::vector<DesignVar>& design_vars() const override { return vars_; }
+  const std::vector<Spec>& specs() const override { return specs_; }
+
+  BuiltCircuit build(std::span<const double> x) const override {
+    require(x.size() == vars_.size(), "five_t_ota: bad design vector");
+    const double w_in = x[0], w_load = x[1], w_tail = x[2], l = x[3],
+                 vbias = x[4];
+    const Technology& t = tech();
+
+    BuiltCircuit bc;
+    bc.vdd = t.vdd;
+    spice::Netlist& n = bc.netlist;
+    const spice::NodeId gnd = 0;
+    const spice::NodeId vdd = n.node("vdd");
+    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    const spice::NodeId tail = n.node("tail"), xm = n.node("xmirror");
+    const spice::NodeId out = n.node("out"), vref = n.node("vref");
+
+    bc.vdd_source = n.add_vsource("Vdd", vdd, gnd, t.vdd);
+    n.add_vsource("Vbias", n.node("vbias"), gnd, vbias);
+    // Single-ended drive: inp carries both the DC common mode and the AC
+    // stimulus; inn is servo-biased from the (inverting) output.
+    n.add_vsource("Vin", inp, gnd, kVcm, 1.0);
+    // DC reference for the offset measurement (AC ground).
+    n.add_vsource("Vref", vref, gnd, kVcm);
+
+    const spice::MosModel& nm = t.nmos;
+    const spice::MosModel& pm = t.pmos;
+    n.add_mosfet("M1", xm, inp, tail, gnd, false, w_in, l, nm);
+    n.add_mosfet("M2", out, inn, tail, gnd, false, w_in, l, nm);
+    n.add_mosfet("M3", xm, xm, vdd, vdd, true, w_load, l, pm);
+    n.add_mosfet("M4", out, xm, vdd, vdd, true, w_load, l, pm);
+    n.add_mosfet("M5", tail, n.node("vbias"), gnd, gnd, false, w_tail, l, nm);
+
+    n.add_inductor("Lservo", out, inn, kServoInductance);
+    n.add_capacitor("Cacgnd", inn, gnd, kCouplingCapacitance);
+    n.add_capacitor("CL", out, gnd, kCload);
+
+    bc.outp = out;
+    bc.outn = vref;
+    bc.swing_top = {3};     // M4
+    bc.swing_bottom = {1, 4};  // M2, M5
+    for (const auto& m : n.mosfets()) bc.gate_area += m.w * m.l;
+    return bc;
+  }
+
+ private:
+  std::vector<DesignVar> vars_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Topology> make_five_transistor_ota() {
+  return std::make_shared<const FiveTransistorOta>();
+}
+
+}  // namespace moheco::circuits

@@ -1,0 +1,128 @@
+// Example 1 of the paper: fully differential folded-cascode amplifier in
+// the 0.35um card, 3.3V supply, 15 transistors.
+//
+// Topology (differential halves mirrored):
+//   M1/M2   NMOS input pair (tail node)
+//   M3/M4   PMOS current sources feeding the folding nodes f1/f2
+//   M5/M6   PMOS cascodes (gate = Vcascp, a design variable) -> outputs
+//   M7/M8   NMOS cascodes (gate = vbnc, two stacked diode drops)
+//   M9/M10  NMOS current sinks (gates driven by the ideal CMFB)
+//   M11     NMOS tail current source (mirror of M12, ratio k_tail)
+//   M12     NMOS bias diode (vbn master)
+//   M13     PMOS bias diode (vbp master for M3/M4)
+//   M14     NMOS mirror sinking the M13 branch
+//   M15     NMOS cascode-bias diode stacked on M12 (generates vbnc)
+//
+// Specs follow the paper: A0>=70dB, GBW>=40MHz, PM>=60deg, OS>=4.6V,
+// power<=1.07mW, plus "all transistors in saturation".  The 5 pF load
+// makes GBW and power genuinely compete (see DESIGN.md calibration note).
+#include <memory>
+
+#include "src/circuits/testbench.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+constexpr double kCload = 5.6e-12;
+constexpr double kWDiode = 2.0e-5;
+constexpr double kWPDiode = 4.0e-5;
+constexpr double kCmfbGain = 10.0;
+constexpr double kVcmRef = 1.65;
+
+class FoldedCascode final : public Topology {
+ public:
+  FoldedCascode()
+      : vars_{{"w_in", 2e-5, 1e-3},    {"w_psrc", 2e-5, 1e-3},
+              {"w_pcasc", 2e-5, 1e-3}, {"w_ncasc", 1e-5, 6e-4},
+              {"w_nsink", 1e-5, 6e-4}, {"l_in", 3.5e-7, 4e-6},
+              {"l_casc", 3.5e-7, 4e-6},{"l_src", 5e-7, 6e-6},
+              {"ibias", 5e-6, 3e-4},   {"k_tail", 0.5, 10.0},
+              {"vcascp", 0.8, 2.8}},
+        specs_{lower_spec(Metric::kA0Db, 70.0, 5.0, "A0>=70dB"),
+               lower_spec(Metric::kGbw, 40e6, 4e6, "GBW>=40MHz"),
+               lower_spec(Metric::kPmDeg, 60.0, 5.0, "PM>=60deg"),
+               lower_spec(Metric::kSwing, 4.6, 0.2, "OS>=4.6V"),
+               upper_spec(Metric::kPower, 1.07e-3, 1e-4, "power<=1.07mW"),
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+
+  std::string name() const override { return "folded_cascode_035"; }
+  const Technology& tech() const override { return tech035(); }
+  int num_transistors() const override { return 15; }
+  const std::vector<DesignVar>& design_vars() const override { return vars_; }
+  const std::vector<Spec>& specs() const override { return specs_; }
+
+  BuiltCircuit build(std::span<const double> x) const override {
+    require(x.size() == vars_.size(), "folded_cascode: bad design vector");
+    const double w_in = x[0], w_psrc = x[1], w_pcasc = x[2], w_ncasc = x[3],
+                 w_nsink = x[4], l_in = x[5], l_casc = x[6], l_src = x[7],
+                 ibias = x[8], k_tail = x[9], vcascp = x[10];
+    const Technology& t = tech();
+
+    BuiltCircuit bc;
+    bc.vdd = t.vdd;
+    spice::Netlist& n = bc.netlist;
+    const spice::NodeId gnd = 0;
+    const spice::NodeId vdd = n.node("vdd");
+    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    const spice::NodeId tail = n.node("tail");
+    const spice::NodeId f1 = n.node("f1"), f2 = n.node("f2");
+    const spice::NodeId out1 = n.node("out1");  // inverting w.r.t. inp
+    const spice::NodeId out2 = n.node("out2");
+    const spice::NodeId g1 = n.node("g1"), g2 = n.node("g2");
+    const spice::NodeId vbn = n.node("vbn"), vbnc = n.node("vbnc");
+    const spice::NodeId vbp = n.node("vbp"), vcp = n.node("vcascp");
+
+    bc.vdd_source = n.add_vsource("Vdd", vdd, gnd, t.vdd);
+    n.add_vsource("Vcascp", vcp, gnd, vcascp);
+    n.add_isource("Ibias", vdd, vbnc, ibias);
+
+    // CMFB drives the NMOS sink gates (output CM up -> more sink current).
+    const spice::NodeId ctl =
+        attach_cmfb(n, out2, out1, vbn, kVcmRef, kCmfbGain, "cmfb");
+
+    const spice::MosModel& nm = t.nmos;
+    const spice::MosModel& pm = t.pmos;
+    n.add_mosfet("M1", f1, inp, tail, gnd, false, w_in, l_in, nm);
+    n.add_mosfet("M2", f2, inn, tail, gnd, false, w_in, l_in, nm);
+    n.add_mosfet("M3", f1, vbp, vdd, vdd, true, w_psrc, l_src, pm);
+    n.add_mosfet("M4", f2, vbp, vdd, vdd, true, w_psrc, l_src, pm);
+    n.add_mosfet("M5", out1, vcp, f1, vdd, true, w_pcasc, l_casc, pm);
+    n.add_mosfet("M6", out2, vcp, f2, vdd, true, w_pcasc, l_casc, pm);
+    n.add_mosfet("M7", out1, vbnc, g1, gnd, false, w_ncasc, l_casc, nm);
+    n.add_mosfet("M8", out2, vbnc, g2, gnd, false, w_ncasc, l_casc, nm);
+    n.add_mosfet("M9", g1, ctl, gnd, gnd, false, w_nsink, l_src, nm);
+    n.add_mosfet("M10", g2, ctl, gnd, gnd, false, w_nsink, l_src, nm);
+    n.add_mosfet("M11", tail, vbn, gnd, gnd, false, k_tail * kWDiode, l_src,
+                 nm);
+    n.add_mosfet("M12", vbn, vbn, gnd, gnd, false, kWDiode, l_src, nm);
+    n.add_mosfet("M13", vbp, vbp, vdd, vdd, true, kWPDiode, l_src, pm);
+    n.add_mosfet("M14", vbp, vbn, gnd, gnd, false, kWDiode, l_src, nm);
+    n.add_mosfet("M15", vbnc, vbnc, vbn, gnd, false, kWDiode, l_casc, nm);
+
+    // out1 inverts inp, so each input takes its own side's output as servo
+    // feedback; outp is the side in phase with inp.
+    attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/out1,
+                          /*fb_for_inn=*/out2, /*outp=*/out2, /*outn=*/out1,
+                          kCload);
+    bc.outp = out2;
+    bc.outn = out1;
+    bc.swing_top = {2, 4};    // M3, M5
+    bc.swing_bottom = {6, 8}; // M7, M9
+    for (const auto& m : n.mosfets()) bc.gate_area += m.w * m.l;
+    return bc;
+  }
+
+ private:
+  std::vector<DesignVar> vars_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Topology> make_folded_cascode() {
+  return std::make_shared<const FoldedCascode>();
+}
+
+}  // namespace moheco::circuits

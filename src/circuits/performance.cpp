@@ -1,0 +1,69 @@
+#include "src/circuits/performance.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+
+double metric_value(const Performance& perf, Metric metric) {
+  switch (metric) {
+    case Metric::kA0Db: return perf.a0_db;
+    case Metric::kGbw: return perf.gbw;
+    case Metric::kPmDeg: return perf.pm_deg;
+    case Metric::kSwing: return perf.swing;
+    case Metric::kPower: return perf.power;
+    case Metric::kOffset: return std::fabs(perf.offset);
+    case Metric::kArea: return perf.area;
+    case Metric::kSatMargin: return perf.sat_margin;
+  }
+  throw InvalidArgument("metric_value: unknown metric");
+}
+
+const char* metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kA0Db: return "A0";
+    case Metric::kGbw: return "GBW";
+    case Metric::kPmDeg: return "PM";
+    case Metric::kSwing: return "OS";
+    case Metric::kPower: return "power";
+    case Metric::kOffset: return "offset";
+    case Metric::kArea: return "area";
+    case Metric::kSatMargin: return "saturation";
+  }
+  return "?";
+}
+
+Spec lower_spec(Metric metric, double bound, double scale,
+                const std::string& label) {
+  require(scale > 0.0, "lower_spec: scale must be > 0");
+  return Spec{metric, true, bound, scale, label};
+}
+
+Spec upper_spec(Metric metric, double bound, double scale,
+                const std::string& label) {
+  require(scale > 0.0, "upper_spec: scale must be > 0");
+  return Spec{metric, false, bound, scale, label};
+}
+
+bool passes(const Performance& perf, std::span<const Spec> specs) {
+  if (!perf.valid) return false;
+  for (const Spec& spec : specs) {
+    const double v = metric_value(perf, spec.metric);
+    if (spec.lower_bound ? (v < spec.bound) : (v > spec.bound)) return false;
+  }
+  return true;
+}
+
+double violation(const Performance& perf, std::span<const Spec> specs) {
+  if (!perf.valid) return 100.0;  // dominated by any simulated candidate
+  double total = 0.0;
+  for (const Spec& spec : specs) {
+    const double v = metric_value(perf, spec.metric);
+    const double gap = spec.lower_bound ? (spec.bound - v) : (v - spec.bound);
+    if (gap > 0.0) total += gap / spec.scale;
+  }
+  return total;
+}
+
+}  // namespace moheco::circuits

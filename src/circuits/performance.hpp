@@ -1,0 +1,63 @@
+// Performance metrics extracted from one simulation of an amplifier
+// testbench, and the specification machinery that turns them into the
+// pass/fail + constraint-violation values consumed by the yield optimizers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace moheco::circuits {
+
+/// Metrics of one (design, process-sample) simulation.  When `valid` is
+/// false (DC or AC did not converge) the defaults are chosen to fail every
+/// spec by a wide margin.
+struct Performance {
+  bool valid = false;
+  double a0_db = -200.0;     ///< low-frequency differential gain (dB)
+  double gbw = 0.0;          ///< unity-gain bandwidth (Hz)
+  double pm_deg = -180.0;    ///< phase margin (degrees)
+  double swing = 0.0;        ///< differential peak-to-peak output swing (V)
+  double power = 1.0;        ///< static supply power (W)
+  double offset = 1.0;       ///< input-referred offset magnitude proxy (V)
+  double area = 0.0;         ///< total gate area (m^2)
+  double sat_margin = -10.0; ///< min over devices of (|vds| - vdsat) (V)
+};
+
+enum class Metric {
+  kA0Db,
+  kGbw,
+  kPmDeg,
+  kSwing,
+  kPower,
+  kOffset,
+  kArea,
+  kSatMargin,
+};
+
+double metric_value(const Performance& perf, Metric metric);
+const char* metric_name(Metric metric);
+
+/// One circuit specification, e.g. {kGbw, ">=", 40e6}.
+struct Spec {
+  Metric metric;
+  bool lower_bound;  ///< true: value >= bound; false: value <= bound
+  double bound;
+  double scale;      ///< normalization for violation magnitudes (> 0)
+  std::string label; ///< e.g. "GBW>=40MHz"
+};
+
+Spec lower_spec(Metric metric, double bound, double scale,
+                const std::string& label);
+Spec upper_spec(Metric metric, double bound, double scale,
+                const std::string& label);
+
+/// True when all specs are met.
+bool passes(const Performance& perf, std::span<const Spec> specs);
+
+/// Sum of normalized violations (0 when all specs pass).  Invalid
+/// performances return a large constant so they sort below any simulated
+/// candidate under Deb's rules.
+double violation(const Performance& perf, std::span<const Spec> specs);
+
+}  // namespace moheco::circuits

@@ -1,0 +1,45 @@
+// Process-variation model: maps a standard-normal vector (the Monte-Carlo
+// sample) to per-device model-card perturbations.
+//
+// Variable layout, matching the paper's accounting (example 1: 15 x 4 = 60
+// intra-die + 20 inter-die = 80 variables):
+//   xi[0 .. 4*T-1]   intra-die mismatch, 4 per transistor in device order:
+//                    (VTH0, TOX, LD, WD), scaled by the Pelgrom area law
+//   xi[4*T .. end]   inter-die variables in Technology::inter_die order
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/circuits/tech.hpp"
+
+namespace moheco::circuits {
+
+class ProcessModel {
+ public:
+  ProcessModel(const Technology& tech, int num_transistors);
+
+  int num_transistors() const { return num_transistors_; }
+  /// Total variable count: 4 * transistors + inter-die.
+  int dim() const;
+  int intra_dim() const { return 4 * num_transistors_; }
+  int inter_dim() const { return static_cast<int>(tech_->inter_die.size()); }
+
+  /// Name of variable `i`, for diagnostics ("M3.VTH0", "DELUON", ...).
+  std::string variable_name(int i) const;
+
+  /// Computes the parameter deltas for transistor `device` (0-based, in
+  /// netlist order) with drawn geometry (w, l).  `xi` must have size dim()
+  /// or be empty (nominal: returns identity deltas).
+  DeviceDeltas device_deltas(std::span<const double> xi, int device,
+                             bool is_pmos, double w, double l) const;
+
+  const Technology& tech() const { return *tech_; }
+
+ private:
+  const Technology* tech_;
+  int num_transistors_;
+};
+
+}  // namespace moheco::circuits

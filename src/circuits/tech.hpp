@@ -1,0 +1,98 @@
+// Synthetic technology cards standing in for the foundry data of the paper's
+// 0.35um and 90nm CMOS processes (see DESIGN.md, substitution table).
+//
+// A Technology bundles the nominal NMOS/PMOS model cards, the supply
+// voltage, the intra-die mismatch laws (Pelgrom-style 1/sqrt(WL) area
+// scaling) and the list of inter-die statistical variables.  The inter-die
+// variable lists reproduce the paper's dimensionality exactly: 20 variables
+// for the 0.35um card (with the paper's own names) and 47 for the 90nm card.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/spice/mosfet.hpp"
+
+namespace moheco::circuits {
+
+/// Which device polarity an inter-die variable perturbs.
+enum class DeviceClass { kNmos, kPmos, kBoth };
+
+/// Physical parameter an inter-die variable perturbs.  "Rel" effects are
+/// multiplicative (value *= 1 + sigma * z); others are additive in SI units.
+enum class InterEffect {
+  kVth0,       // V, additive
+  kToxRel,
+  kU0Rel,
+  kLd,         // m, additive
+  kWd,         // m, additive
+  kGammaRel,
+  kPhiRel,
+  kLambdaRel,
+  kCjRel,
+  kCjswRel,
+  kCgdoRel,
+  kCgsoRel,
+  kLdiffRel,
+  kNsubRel,
+  kDeltaL,     // m, additive to drawn length
+  kDeltaW,     // m, additive to drawn width
+};
+
+struct InterDieVar {
+  std::string name;
+  InterEffect effect;
+  DeviceClass which;
+  double sigma;  ///< standard deviation in the effect's units
+};
+
+/// Intra-die (mismatch) area laws: sigma(param) = a_param / sqrt(W * L),
+/// with W, L the drawn dimensions in meters (so a_vth is in V*m).
+struct MismatchLaw {
+  double a_vth = 0.0;      ///< V*m
+  double a_tox_rel = 0.0;  ///< m (relative tox mismatch per sqrt area)
+  double a_ld = 0.0;       ///< m^2
+  double a_wd = 0.0;       ///< m^2
+};
+
+struct Technology {
+  std::string name;
+  double vdd = 3.3;
+  spice::MosModel nmos;
+  spice::MosModel pmos;  ///< NMOS-convention card (vth0 stored positive)
+  MismatchLaw mismatch_nmos;
+  MismatchLaw mismatch_pmos;
+  std::vector<InterDieVar> inter_die;
+};
+
+/// 0.35um CMOS card, 3.3V; 20 inter-die variables named as in the paper.
+const Technology& tech035();
+/// 90nm CMOS card, 1.2V; 47 inter-die variables.
+const Technology& tech90();
+
+/// Accumulated per-device parameter perturbation (inter-die + intra-die).
+struct DeviceDeltas {
+  double dvth0 = 0.0;
+  double tox_mult = 1.0;
+  double u0_mult = 1.0;
+  double dld = 0.0;
+  double dwd = 0.0;
+  double gamma_mult = 1.0;
+  double phi_mult = 1.0;
+  double lambda_mult = 1.0;
+  double cj_mult = 1.0;
+  double cjsw_mult = 1.0;
+  double cgdo_mult = 1.0;
+  double cgso_mult = 1.0;
+  double ldiff_mult = 1.0;
+  double nsub_mult = 1.0;
+  double dl = 0.0;  ///< drawn-length offset (m)
+  double dw = 0.0;  ///< drawn-width offset (m)
+};
+
+/// Applies deltas to a nominal card.  Drawn-dimension offsets are folded
+/// into ld/wd (l_eff = l - 2*ld + dl).
+spice::MosModel apply_deltas(const spice::MosModel& base,
+                             const DeviceDeltas& deltas);
+
+}  // namespace moheco::circuits

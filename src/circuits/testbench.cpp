@@ -1,0 +1,40 @@
+#include "src/circuits/testbench.hpp"
+
+namespace moheco::circuits {
+
+void attach_diff_testbench(spice::Netlist& netlist, spice::NodeId inp,
+                           spice::NodeId inn, spice::NodeId fb_for_inp,
+                           spice::NodeId fb_for_inn, spice::NodeId outp,
+                           spice::NodeId outn, double cload) {
+  const spice::NodeId gnd = 0;
+  netlist.add_inductor("Lservo_p", fb_for_inp, inp, kServoInductance);
+  netlist.add_inductor("Lservo_n", fb_for_inn, inn, kServoInductance);
+  const spice::NodeId acp = netlist.node("tb_acp");
+  const spice::NodeId acn = netlist.node("tb_acn");
+  netlist.add_vsource("Vac_p", acp, gnd, 0.0, +0.5);
+  netlist.add_vsource("Vac_n", acn, gnd, 0.0, -0.5);
+  netlist.add_capacitor("Cac_p", inp, acp, kCouplingCapacitance);
+  netlist.add_capacitor("Cac_n", inn, acn, kCouplingCapacitance);
+  if (cload > 0.0) {
+    netlist.add_capacitor("CL_p", outp, gnd, cload);
+    netlist.add_capacitor("CL_n", outn, gnd, cload);
+  }
+}
+
+spice::NodeId attach_cmfb(spice::Netlist& netlist, spice::NodeId outp,
+                          spice::NodeId outn, spice::NodeId base_bias,
+                          double vref, double gain, const std::string& prefix) {
+  const spice::NodeId gnd = 0;
+  // Loading-free common-mode sense: two stacked half-gain VCVS.
+  const spice::NodeId half = netlist.node(prefix + "_half");
+  const spice::NodeId sense = netlist.node(prefix + "_sense");
+  netlist.add_vcvs(prefix + "_Eh1", half, gnd, outp, gnd, 0.5);
+  netlist.add_vcvs(prefix + "_Eh2", sense, half, outn, gnd, 0.5);
+  const spice::NodeId ref = netlist.node(prefix + "_ref");
+  netlist.add_vsource(prefix + "_Vref", ref, gnd, vref);
+  const spice::NodeId ctl = netlist.node(prefix + "_ctl");
+  netlist.add_vcvs(prefix + "_Ecm", ctl, base_bias, sense, ref, gain);
+  return ctl;
+}
+
+}  // namespace moheco::circuits

@@ -1,0 +1,46 @@
+// Shared testbench construction helpers.
+//
+// The open-loop measurement testbench uses the classic SPICE "DC servo"
+// idiom: the amplifier inputs receive their DC bias through huge inductors
+// from the (inverting) outputs -- a unity-gain feedback loop that is a short
+// at DC and an open circuit at every AC analysis frequency -- while the AC
+// stimulus couples in through huge capacitors (open at DC, short at AC).
+// One DC solve therefore yields a self-biased operating point (plus the
+// offset voltage at the outputs), and AC solves see the open-loop transfer.
+#pragma once
+
+#include <string>
+
+#include "src/spice/netlist.hpp"
+
+namespace moheco::circuits {
+
+/// Servo/coupling element values.  Sized so that at the lowest AC analysis
+/// frequency (1 Hz) the loop transmission through the inductor is < 1e-6
+/// and the source coupling attenuation is < 1e-9.
+inline constexpr double kServoInductance = 1e9;    // H
+inline constexpr double kCouplingCapacitance = 10.0;  // F
+inline constexpr double kAcFrequencyLow = 1.0;     // Hz
+
+/// Attaches the differential drive + servo:
+///  - inductor from `fb_for_inp` to `inp` and from `fb_for_inn` to `inn`
+///    (fb nodes must be the outputs that are INVERTING with respect to the
+///    corresponding input, so the DC loop is negative feedback);
+///  - AC sources +0.5/-0.5 coupled through large capacitors into inp/inn;
+///  - load capacitors `cload` from outp and outn to ground.
+void attach_diff_testbench(spice::Netlist& netlist, spice::NodeId inp,
+                           spice::NodeId inn, spice::NodeId fb_for_inp,
+                           spice::NodeId fb_for_inn, spice::NodeId outp,
+                           spice::NodeId outn, double cload);
+
+/// Ideal common-mode feedback: senses (V(outp)+V(outn))/2 with loading-free
+/// VCVS stages and returns a control node whose voltage is
+///   V(ctl) = V(base_bias) + gain * (V_cm_sense - vref).
+/// Connect ctl to the gates of the devices that absorb the common-mode
+/// error (current sinks or sources); `gain` > 0 gives negative CM feedback
+/// for that connection style.
+spice::NodeId attach_cmfb(spice::Netlist& netlist, spice::NodeId outp,
+                          spice::NodeId outn, spice::NodeId base_bias,
+                          double vref, double gain, const std::string& prefix);
+
+}  // namespace moheco::circuits

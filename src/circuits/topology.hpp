@@ -1,0 +1,67 @@
+// Topology abstraction: a sized circuit builder.
+//
+// A Topology turns a design vector x into a complete simulation-ready
+// netlist (core circuit + measurement testbench).  The canonical transistor
+// order of the returned netlist defines the intra-die mismatch variable
+// layout of the process model (4 variables per transistor).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/circuits/performance.hpp"
+#include "src/circuits/tech.hpp"
+#include "src/spice/netlist.hpp"
+
+namespace moheco::circuits {
+
+struct DesignVar {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// A netlist plus the measurement hooks the evaluator needs.
+struct BuiltCircuit {
+  spice::Netlist netlist;
+  spice::NodeId outp = 0;  ///< differential + output (in phase with +input)
+  spice::NodeId outn = 0;
+  int vdd_source = -1;     ///< index into netlist.vsources() (power probe)
+  double vdd = 0.0;
+  /// Device indices (into netlist.mosfets()) whose vdsat stacks bound the
+  /// output high side / low side; swing = 2*(vdd - sum(top) - sum(bottom)).
+  std::vector<int> swing_top;
+  std::vector<int> swing_bottom;
+  double gate_area = 0.0;  ///< sum of drawn W*L over all transistors (m^2)
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  virtual std::string name() const = 0;
+  virtual const Technology& tech() const = 0;
+  virtual int num_transistors() const = 0;
+  virtual const std::vector<DesignVar>& design_vars() const = 0;
+  /// Specifications of the associated yield-optimization benchmark.
+  virtual const std::vector<Spec>& specs() const = 0;
+  /// Builds the sized circuit with nominal model cards.
+  /// `x` must have design_vars().size() entries inside their bounds.
+  virtual BuiltCircuit build(std::span<const double> x) const = 0;
+};
+
+/// The paper's example 1: fully differential folded-cascode amplifier,
+/// 0.35um / 3.3V, 15 transistors, 11 design variables.
+std::shared_ptr<const Topology> make_folded_cascode();
+
+/// The paper's example 2: fully differential two-stage amplifier with a
+/// telescopic cascode first stage, 90nm / 1.2V, 19 transistors, 13 design
+/// variables.
+std::shared_ptr<const Topology> make_two_stage_telescopic();
+
+/// A small single-ended 5-transistor OTA used by the quickstart example and
+/// as a fast circuit for tests.
+std::shared_ptr<const Topology> make_five_transistor_ota();
+
+}  // namespace moheco::circuits

@@ -1,0 +1,150 @@
+// Example 2 of the paper: fully differential two-stage amplifier with a
+// telescopic cascode first stage, 90nm card, 1.2V supply, 19 transistors.
+//
+//   M1/M2   NMOS input pair (tail node)
+//   M3/M4   NMOS cascodes -> first-stage outputs x1/x2
+//   M5/M6   PMOS cascodes
+//   M7/M8   PMOS current sources (gates driven by stage-1 CMFB around vbp)
+//   M9/M10  PMOS common-source second stage (inputs x1/x2)
+//   M11     NMOS tail source (mirror of M14, ratio k_tail)
+//   M12/M13 NMOS second-stage sinks (gates driven by stage-2 CMFB, vbn2)
+//   M14/M15 NMOS bias diode stack (vbn, vbnc)
+//   M16/M17 PMOS bias diode stack (vbp, vbpc)
+//   M18     NMOS mirror sinking the PMOS diode branch
+//   M19     NMOS diode (vbn2 master for the second-stage sinks)
+// Miller compensation Cc + Rz across each second-stage side.
+//
+// Specs follow the paper: A0>=60dB, GBW>=300MHz, PM>=60deg, OS>=1.8V,
+// power<=10mW, area<=180um^2, offset<=0.05mV, all devices saturated.
+#include <memory>
+
+#include "src/circuits/testbench.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+constexpr double kCload = 1.0e-12;
+constexpr double kWDiode = 1.0e-5;
+constexpr double kWPDiode = 2.0e-5;
+constexpr double kLBias = 3.0e-7;
+constexpr double kCmfbGain = 10.0;
+constexpr double kVcmStage1 = 0.72;
+constexpr double kVcmOut = 0.60;
+
+class TwoStageTelescopic final : public Topology {
+ public:
+  TwoStageTelescopic()
+      : vars_{{"w_in", 5e-6, 1e-4},    {"w_ncasc", 5e-6, 1e-4},
+              {"w_pcasc", 1e-5, 2e-4}, {"w_psrc", 1e-5, 2e-4},
+              {"w_pcs", 2e-5, 4e-4},   {"w_nsink", 1e-5, 2e-4},
+              {"l_in", 1e-7, 5e-7},    {"l_casc", 1e-7, 5e-7},
+              {"l2", 1e-7, 5e-7},      {"ibias", 2e-5, 4e-4},
+              {"k_tail", 1.0, 6.0},    {"cc", 2e-13, 3e-12},
+              {"rz", 100.0, 5000.0}},
+        specs_{lower_spec(Metric::kA0Db, 60.0, 5.0, "A0>=60dB"),
+               lower_spec(Metric::kGbw, 300e6, 3e7, "GBW>=300MHz"),
+               lower_spec(Metric::kPmDeg, 60.0, 5.0, "PM>=60deg"),
+               lower_spec(Metric::kSwing, 1.8, 0.1, "OS>=1.8V"),
+               upper_spec(Metric::kPower, 10e-3, 1e-3, "power<=10mW"),
+               upper_spec(Metric::kArea, 1.8e-10, 2e-11, "area<=180um2"),
+               upper_spec(Metric::kOffset, 5e-5, 1e-5, "offset<=0.05mV"),
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+
+  std::string name() const override { return "two_stage_telescopic_90"; }
+  const Technology& tech() const override { return tech90(); }
+  int num_transistors() const override { return 19; }
+  const std::vector<DesignVar>& design_vars() const override { return vars_; }
+  const std::vector<Spec>& specs() const override { return specs_; }
+
+  BuiltCircuit build(std::span<const double> x) const override {
+    require(x.size() == vars_.size(), "two_stage_telescopic: bad design vec");
+    const double w_in = x[0], w_ncasc = x[1], w_pcasc = x[2], w_psrc = x[3],
+                 w_pcs = x[4], w_nsink = x[5], l_in = x[6], l_casc = x[7],
+                 l2 = x[8], ibias = x[9], k_tail = x[10], cc = x[11],
+                 rz = x[12];
+    const Technology& t = tech();
+
+    BuiltCircuit bc;
+    bc.vdd = t.vdd;
+    spice::Netlist& n = bc.netlist;
+    const spice::NodeId gnd = 0;
+    const spice::NodeId vdd = n.node("vdd");
+    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    const spice::NodeId tail = n.node("tail");
+    const spice::NodeId c1 = n.node("c1"), c2 = n.node("c2");
+    const spice::NodeId x1 = n.node("x1"), x2 = n.node("x2");
+    const spice::NodeId y1 = n.node("y1"), y2 = n.node("y2");
+    const spice::NodeId outa = n.node("outa");  // in phase with inp
+    const spice::NodeId outb = n.node("outb");
+    const spice::NodeId vbn = n.node("vbn"), vbnc = n.node("vbnc");
+    const spice::NodeId vbp = n.node("vbp"), vbpc = n.node("vbpc");
+    const spice::NodeId vbn2 = n.node("vbn2");
+    const spice::NodeId ma = n.node("comp_a"), mb = n.node("comp_b");
+
+    bc.vdd_source = n.add_vsource("Vdd", vdd, gnd, t.vdd);
+    n.add_isource("Ibias1", vdd, vbnc, ibias);
+    n.add_isource("Ibias2", vdd, vbn2, ibias);
+
+    // Stage-1 CMFB: x-node CM up -> raise PMOS source gates.
+    const spice::NodeId ctl1 =
+        attach_cmfb(n, x1, x2, vbp, kVcmStage1, kCmfbGain, "cmfb1");
+    // Stage-2 CMFB: output CM up -> raise NMOS sink gates.
+    const spice::NodeId ctl2 =
+        attach_cmfb(n, outa, outb, vbn2, kVcmOut, kCmfbGain, "cmfb2");
+
+    const spice::MosModel& nm = t.nmos;
+    const spice::MosModel& pm = t.pmos;
+    n.add_mosfet("M1", c1, inp, tail, gnd, false, w_in, l_in, nm);
+    n.add_mosfet("M2", c2, inn, tail, gnd, false, w_in, l_in, nm);
+    n.add_mosfet("M3", x1, vbnc, c1, gnd, false, w_ncasc, l_casc, nm);
+    n.add_mosfet("M4", x2, vbnc, c2, gnd, false, w_ncasc, l_casc, nm);
+    n.add_mosfet("M5", x1, vbpc, y1, vdd, true, w_pcasc, l_casc, pm);
+    n.add_mosfet("M6", x2, vbpc, y2, vdd, true, w_pcasc, l_casc, pm);
+    n.add_mosfet("M7", y1, ctl1, vdd, vdd, true, w_psrc, l_casc, pm);
+    n.add_mosfet("M8", y2, ctl1, vdd, vdd, true, w_psrc, l_casc, pm);
+    n.add_mosfet("M9", outa, x1, vdd, vdd, true, w_pcs, l2, pm);
+    n.add_mosfet("M10", outb, x2, vdd, vdd, true, w_pcs, l2, pm);
+    n.add_mosfet("M11", tail, vbn, gnd, gnd, false, k_tail * kWDiode, kLBias,
+                 nm);
+    n.add_mosfet("M12", outa, ctl2, gnd, gnd, false, w_nsink, l2, nm);
+    n.add_mosfet("M13", outb, ctl2, gnd, gnd, false, w_nsink, l2, nm);
+    n.add_mosfet("M14", vbn, vbn, gnd, gnd, false, kWDiode, kLBias, nm);
+    n.add_mosfet("M15", vbnc, vbnc, vbn, gnd, false, kWDiode, l_casc, nm);
+    n.add_mosfet("M16", vbp, vbp, vdd, vdd, true, kWPDiode, l_casc, pm);
+    n.add_mosfet("M17", vbpc, vbpc, vbp, vdd, true, kWPDiode, l_casc, pm);
+    n.add_mosfet("M18", vbpc, vbn, gnd, gnd, false, kWDiode, kLBias, nm);
+    n.add_mosfet("M19", vbn2, vbn2, gnd, gnd, false, kWDiode, l2, nm);
+
+    // Miller compensation with zero-nulling resistor on each side.
+    n.add_capacitor("Cc_a", x1, ma, cc);
+    n.add_resistor("Rz_a", ma, outa, rz);
+    n.add_capacitor("Cc_b", x2, mb, cc);
+    n.add_resistor("Rz_b", mb, outb, rz);
+
+    // Two inversions per side: outa is in phase with inp, so the servo
+    // feedback for inp comes from the opposite output outb.
+    attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/outb,
+                          /*fb_for_inn=*/outa, /*outp=*/outa, /*outn=*/outb,
+                          kCload);
+    bc.outp = outa;
+    bc.outn = outb;
+    bc.swing_top = {8};      // M9
+    bc.swing_bottom = {11};  // M12
+    for (const auto& m : n.mosfets()) bc.gate_area += m.w * m.l;
+    return bc;
+  }
+
+ private:
+  std::vector<DesignVar> vars_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Topology> make_two_stage_telescopic() {
+  return std::make_shared<const TwoStageTelescopic>();
+}
+
+}  // namespace moheco::circuits

@@ -1,0 +1,9 @@
+#include "src/common/error.hpp"
+
+namespace moheco {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace moheco

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The optimizers use this to emit per-generation progress when verbosity is
+// enabled (benches and examples turn it on with --verbose / MOHECO_LOG).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace moheco {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& text);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Streams one log line at `level`; evaluates arguments lazily enough for our
+/// needs (callers should guard expensive formatting with log_level()).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_write(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::kError, args...); }
+
+}  // namespace moheco

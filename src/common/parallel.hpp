@@ -1,0 +1,38 @@
+// Minimal worker pool for Monte-Carlo batch evaluation.
+//
+// Work items are claimed from an atomic counter, but each worker passes its
+// stable worker id to the callback so callers can keep per-worker state
+// (e.g. one circuit-simulation session per worker per candidate).  Results
+// must be written to per-item slots (or accumulated with atomics) so the
+// outcome is independent of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace moheco {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Runs fn(worker_id, index) for every index in [0, count); blocks until
+  /// all items finish.  fn must be thread-safe across distinct indices.
+  /// Exceptions thrown by fn are rethrown (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(int, std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_workers_;
+};
+
+}  // namespace moheco

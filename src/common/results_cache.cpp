@@ -1,0 +1,80 @@
+#include "src/common/results_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.hpp"
+
+namespace moheco {
+namespace {
+
+// Keys become file names; keep them portable.
+std::string sanitize(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultsCache::ResultsCache(std::string path) : path_(std::move(path)) {}
+
+ResultsCache ResultsCache::default_cache() {
+  if (const char* env = std::getenv("MOHECO_CACHE_DIR")) {
+    return ResultsCache(env);
+  }
+  return ResultsCache("/tmp/moheco_cache");
+}
+
+std::string ResultsCache::file_for(const std::string& key) const {
+  return path_ + "/" + sanitize(key) + ".txt";
+}
+
+std::optional<ResultMap> ResultsCache::load(const std::string& key) const {
+  std::ifstream in(file_for(key));
+  if (!in) return std::nullopt;
+  ResultMap results;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream iss(line);
+    std::string name;
+    if (!(iss >> name)) return std::nullopt;
+    std::vector<double> values;
+    double v = 0.0;
+    while (iss >> v) values.push_back(v);
+    results[name] = std::move(values);
+  }
+  if (results.empty()) return std::nullopt;
+  return results;
+}
+
+void ResultsCache::store(const std::string& key, const ResultMap& results) const {
+  std::error_code ec;
+  std::filesystem::create_directories(path_, ec);
+  if (ec) {
+    log_warn("results cache: cannot create ", path_, ": ", ec.message());
+    return;
+  }
+  std::ofstream out(file_for(key));
+  if (!out) {
+    log_warn("results cache: cannot write ", file_for(key));
+    return;
+  }
+  out.precision(17);
+  out << "# moheco results cache, key=" << key << "\n";
+  for (const auto& [name, values] : results) {
+    out << name;
+    for (double v : values) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+}  // namespace moheco

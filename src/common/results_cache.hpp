@@ -1,0 +1,38 @@
+// File-based cache of experiment results shared across bench binaries.
+//
+// Table 1 / Table 2 / Fig. 6 all come from the same example-1 study; each
+// bench binary is standalone (one binary per table/figure, as in the paper),
+// so the first binary to run stores the study results and later binaries
+// reuse them.  The cache key includes the experiment id, the scale options
+// and the seed, so changing any of them recomputes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace moheco {
+
+/// One named series of doubles (e.g. per-run yield deviations of one method).
+using ResultMap = std::map<std::string, std::vector<double>>;
+
+class ResultsCache {
+ public:
+  /// `path` is the backing file; created lazily on store().
+  explicit ResultsCache(std::string path);
+
+  /// Returns the stored result map for `key`, if present and parseable.
+  std::optional<ResultMap> load(const std::string& key) const;
+  /// Stores (replacing) the result map under `key`.
+  void store(const std::string& key, const ResultMap& results) const;
+
+  /// Default cache location: $MOHECO_CACHE_DIR or /tmp/moheco_cache.
+  static ResultsCache default_cache();
+
+ private:
+  std::string file_for(const std::string& key) const;
+  std::string path_;
+};
+
+}  // namespace moheco

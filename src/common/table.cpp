@@ -1,0 +1,73 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace moheco {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must be nonempty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << '\n';
+  };
+  if (!title.empty()) os << title << '\n';
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string format_sig(double value, int digits) {
+  char buffer[64];
+  if (value == 0.0) return "0";
+  double magnitude = std::fabs(value);
+  if (magnitude >= 1e-3 && magnitude < 1e6) {
+    int decimals = std::max(0, digits - 1 - static_cast<int>(std::floor(
+                                                std::log10(magnitude))));
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.*e", digits - 1, value);
+  }
+  return buffer;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace moheco

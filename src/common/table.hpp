@@ -1,0 +1,37 @@
+// ASCII table printer used by the bench harnesses to emit paper-style tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moheco {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+///
+/// Usage:
+///   Table t({"methods", "best", "worst", "average", "variance"});
+///   t.add_row({"MOHECO", "0.04%", "0.63%", "0.32%", "3.6e-6"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Prints with a ruled header.  `title`, if nonempty, prints above.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` significant digits (benches use this for
+/// deviations and variances, mirroring the paper's "3.6e-6" style).
+std::string format_sig(double value, int digits = 3);
+/// Formats a fraction as a percentage string like "0.32%".
+std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace moheco

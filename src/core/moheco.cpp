@@ -1,0 +1,311 @@
+#include "src/core/moheco.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+#include "src/opt/nelder_mead.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::core {
+
+MohecoOptimizer::MohecoOptimizer(const mc::YieldProblem& problem,
+                                 MohecoOptions options)
+    : problem_(&problem),
+      options_(options),
+      pool_(options.threads),
+      rng_(stats::derive_seed(options.seed, 0xDE05)) {
+  require(options_.population >= 4, "MohecoOptimizer: population must be >= 4");
+  const std::size_t dim = problem.num_design_vars();
+  bounds_.lo.resize(dim);
+  bounds_.hi.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    bounds_.lo[i] = problem.lower_bound(i);
+    bounds_.hi[i] = problem.upper_bound(i);
+    require(bounds_.lo[i] < bounds_.hi[i],
+            "MohecoOptimizer: empty design range");
+  }
+}
+
+std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
+    const std::vector<std::vector<double>>& xs, GenerationTrace* trace) {
+  const std::size_t count = xs.size();
+  std::vector<std::shared_ptr<mc::CandidateYield>> candidates;
+  candidates.reserve(count);
+  for (const auto& x : xs) {
+    candidates.push_back(std::make_shared<mc::CandidateYield>(
+        *problem_, x, stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_),
+        pool_.num_workers()));
+  }
+
+  // Acceptance-sampling screen: nominal feasibility, in parallel across
+  // candidates (each touches only its own CandidateYield).
+  pool_.parallel_for(count, [&](int, std::size_t i) {
+    candidates[i]->screen_nominal(sims_);
+  });
+
+  // The OO candidate pool of this generation: feasible new candidates plus
+  // the feasible current population (whose tallies persist and keep
+  // refining under the same OCBA rule).
+  std::vector<mc::CandidateYield*> ocba_pool;
+  for (auto& c : candidates) {
+    if (c->nominal_feasible()) ocba_pool.push_back(c.get());
+  }
+  const int num_feasible_new = static_cast<int>(ocba_pool.size());
+  if (options_.use_ocba) {
+    for (Member& m : population_) {
+      if (m.tally) ocba_pool.push_back(m.tally.get());
+    }
+    mc::two_stage_estimate(ocba_pool, options_.estimation, pool_, sims_);
+    // Refresh population fitness after refinement.
+    for (Member& m : population_) {
+      if (m.tally) {
+        m.fitness.yield = m.tally->mean();
+        m.samples = m.tally->samples();
+      }
+    }
+  } else {
+    for (mc::CandidateYield* c : ocba_pool) {
+      c->refine(options_.fixed_budget - c->samples(), pool_, sims_,
+                options_.estimation.mc);
+    }
+  }
+
+  std::vector<Evaluated> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const mc::CandidateYield& c = *candidates[i];
+    Evaluated& e = out[i];
+    if (c.nominal_feasible()) {
+      e.fitness.feasible = true;
+      e.fitness.violation = 0.0;
+      e.fitness.yield = c.mean();
+      e.samples = c.samples();
+      e.tally = candidates[i];
+      if (trace != nullptr) {
+        trace->data_points.emplace_back(c.x(), c.mean());
+      }
+    } else {
+      e.fitness.feasible = false;
+      e.fitness.violation = c.nominal_violation();
+      e.fitness.yield = 0.0;
+      e.samples = 0;
+    }
+  }
+  if (trace != nullptr) {
+    trace->num_feasible_trials += num_feasible_new;
+    for (const mc::CandidateYield* c : ocba_pool) {
+      trace->estimated.emplace_back(c->mean(), c->samples());
+    }
+  }
+  return out;
+}
+
+MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
+    std::span<const double> x) {
+  auto candidate = std::make_shared<mc::CandidateYield>(
+      *problem_, std::vector<double>(x.begin(), x.end()),
+      stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_),
+      pool_.num_workers());
+  candidate->screen_nominal(sims_);
+  Evaluated e;
+  if (!candidate->nominal_feasible()) {
+    e.fitness.feasible = false;
+    e.fitness.violation = candidate->nominal_violation();
+    return e;
+  }
+  const int n_report =
+      options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
+  candidate->refine(n_report, pool_, sims_, options_.estimation.mc);
+  e.fitness.feasible = true;
+  e.fitness.violation = 0.0;
+  e.fitness.yield = candidate->mean();
+  e.samples = candidate->samples();
+  e.tally = std::move(candidate);
+  return e;
+}
+
+std::size_t MohecoOptimizer::best_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < population_.size(); ++i) {
+    if (opt::deb_better(population_[i].fitness, population_[best].fitness)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void MohecoOptimizer::local_search(Member& best, GenerationTrace* trace) {
+  if (trace != nullptr) trace->local_search_triggered = true;
+  opt::NelderMeadOptions nm_options;
+  nm_options.max_iterations = options_.nm_max_iterations;
+  Evaluated incumbent;
+  incumbent.fitness = best.fitness;
+  incumbent.samples = best.samples;
+
+  // Cache the accurate evaluations so the final comparison can reuse them.
+  std::vector<std::pair<std::vector<double>, Evaluated>> seen;
+  auto objective = [&](std::span<const double> x) {
+    Evaluated e = evaluate_accurate(x);
+    seen.emplace_back(std::vector<double>(x.begin(), x.end()), e);
+    return opt::deb_scalar(e.fitness);
+  };
+  const opt::NelderMeadResult nm =
+      opt::nelder_mead(objective, best.x, bounds_, nm_options);
+
+  // Find the evaluation record of the NM winner.
+  for (const auto& [x, e] : seen) {
+    if (x == nm.best_x && opt::deb_better(e.fitness, incumbent.fitness)) {
+      log_info("local search improved best yield ", incumbent.fitness.yield,
+               " -> ", e.fitness.yield);
+      best.x = x;
+      best.fitness = e.fitness;
+      best.samples = e.samples;
+      best.tally = e.tally;
+      return;
+    }
+  }
+}
+
+MohecoResult MohecoOptimizer::run() {
+  return run_impl(options_.max_generations);
+}
+
+MohecoResult MohecoOptimizer::run_generations(int generations) {
+  return run_impl(generations);
+}
+
+MohecoResult MohecoOptimizer::run_impl(int max_generations) {
+  MohecoResult result;
+  sims_.reset();
+  population_.clear();
+  stream_counter_ = 0;
+  last_local_search_x_.clear();
+
+  const int n_report =
+      options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
+
+  // --- Initialization (Step 0). ---
+  std::vector<std::vector<double>> initial;
+  initial.reserve(static_cast<std::size_t>(options_.population));
+  for (int i = 0; i < options_.population; ++i) {
+    initial.push_back(opt::random_point(bounds_, rng_));
+  }
+  GenerationTrace init_trace;
+  init_trace.generation = 0;
+  std::vector<Evaluated> evaluated = evaluate_batch(initial, &init_trace);
+  population_.resize(initial.size());
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    population_[i].x = std::move(initial[i]);
+    population_[i].fitness = evaluated[i].fitness;
+    population_[i].samples = evaluated[i].samples;
+    population_[i].tally = std::move(evaluated[i].tally);
+  }
+  {
+    const Member& b = population_[best_index()];
+    init_trace.best_yield = b.fitness.yield;
+    init_trace.best_feasible = b.fitness.feasible;
+    init_trace.sims_cumulative = sims_.total();
+    result.trace.push_back(std::move(init_trace));
+  }
+
+  double best_scalar = opt::deb_scalar(population_[best_index()].fitness);
+  int stagnant_ls = 0;    // generations since improvement (local search)
+  int stagnant_stop = 0;  // generations since improvement (stopping rule)
+
+  for (int gen = 1; gen <= max_generations; ++gen) {
+    GenerationTrace trace;
+    trace.generation = gen;
+
+    // Steps 1-2: base vector selection + DE variation.
+    const std::size_t best = best_index();
+    std::vector<std::vector<double>> member_xs(population_.size());
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      member_xs[i] = population_[i].x;
+    }
+    std::vector<std::vector<double>> trials(population_.size());
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      trials[i] = opt::de_trial(member_xs, i, best, options_.de, bounds_, rng_);
+    }
+
+    // Steps 3-7: screening + two-stage (or fixed-budget) estimation.
+    evaluated = evaluate_batch(trials, &trace);
+
+    // Step 8: one-to-one Deb selection.
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      if (opt::deb_better(evaluated[i].fitness, population_[i].fitness)) {
+        population_[i].x = std::move(trials[i]);
+        population_[i].fitness = evaluated[i].fitness;
+        population_[i].samples = evaluated[i].samples;
+        population_[i].tally = std::move(evaluated[i].tally);
+      }
+    }
+
+    // Steps 9-10: memetic local search on stagnation.
+    Member& current_best = population_[best_index()];
+    double scalar = opt::deb_scalar(current_best.fitness);
+    if (scalar < best_scalar - 1e-12) {
+      best_scalar = scalar;
+      stagnant_ls = 0;
+      stagnant_stop = 0;
+    } else {
+      ++stagnant_ls;
+      ++stagnant_stop;
+    }
+    if (options_.use_memetic &&
+        stagnant_ls >= options_.local_search_stagnation &&
+        current_best.fitness.feasible &&
+        current_best.x != last_local_search_x_) {
+      last_local_search_x_ = current_best.x;
+      local_search(current_best, &trace);
+      const double after = opt::deb_scalar(current_best.fitness);
+      if (after < best_scalar - 1e-12) {
+        best_scalar = after;
+        stagnant_stop = 0;
+      }
+      stagnant_ls = 0;
+    }
+
+    const Member& b = population_[best_index()];
+    trace.best_yield = b.fitness.yield;
+    trace.best_feasible = b.fitness.feasible;
+    trace.sims_cumulative = sims_.total();
+    result.trace.push_back(std::move(trace));
+    result.generations = gen;
+
+    log_info("gen ", gen, " best yield ", b.fitness.yield, " (",
+             b.samples, " samples), sims ", sims_.total());
+
+    // Step 11: stopping rule.
+    const bool full_yield = b.fitness.feasible && b.fitness.yield >= 1.0 &&
+                            b.samples >= n_report;
+    if (full_yield) {
+      result.reached_full_yield = true;
+      break;
+    }
+    if (stagnant_stop >= options_.stop_stagnation) break;
+  }
+
+  // Report the best member with an accurate (n_report) estimate; its tally
+  // persists, so only the missing samples are drawn.
+  Member best = population_[best_index()];
+  if (best.fitness.feasible && best.samples < n_report) {
+    if (best.tally) {
+      best.tally->refine(n_report - best.samples, pool_, sims_,
+                         options_.estimation.mc);
+      best.fitness.yield = best.tally->mean();
+      best.samples = best.tally->samples();
+    } else {
+      const Evaluated accurate = evaluate_accurate(best.x);
+      if (accurate.fitness.feasible) {
+        best.fitness = accurate.fitness;
+        best.samples = accurate.samples;
+      }
+    }
+  }
+  result.best = std::move(best);
+  result.total_simulations = sims_.total();
+  return result;
+}
+
+}  // namespace moheco::core

@@ -1,0 +1,139 @@
+// MOHECO: Memetic Ordinal-Optimization-based Hybrid Evolutionary
+// Constrained Optimization (Liu, Fernandez, Gielen, DATE 2010).
+//
+// One configurable optimizer implements the paper's algorithm and both of
+// its MC-based comparison methods:
+//   - MOHECO            : use_ocba = true,  use_memetic = true
+//   - OO + AS + LHS     : use_ocba = true,  use_memetic = false
+//   - AS + LHS @ N sims : use_ocba = false (fixed_budget = N), memetic off
+// Sampling (LHS vs PMC), population parameters and the estimation constants
+// (n0 = 15, sim_avg = 35, n_max = 500, 97% stage-2 threshold) follow the
+// paper's Section 3 settings by default.
+//
+// Flow per generation (Fig. 4 of the paper):
+//   select base vector (population best) -> DE mutation + crossover ->
+//   nominal feasibility screen (acceptance sampling) -> stage-1 OCBA yield
+//   estimation (or fixed budget) with stage-2 promotion above 97% ->
+//   Deb-rule one-to-one selection -> optional Nelder-Mead local search on
+//   the best member after 5 stagnant generations -> stop at 100% reported
+//   yield or 20 stagnant generations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/mc/ocba.hpp"
+#include "src/mc/sim_counter.hpp"
+#include "src/mc/yield_problem.hpp"
+#include "src/opt/constraint.hpp"
+#include "src/opt/de.hpp"
+
+namespace moheco::core {
+
+struct MohecoOptions {
+  int population = 50;            ///< paper: 50
+  opt::DeConfig de;               ///< paper: F = 0.8, CR = 0.8, DE/best/1
+  mc::TwoStageOptions estimation; ///< n0 = 15, sim_avg = 35, n_max = 500
+  bool use_ocba = true;
+  bool use_memetic = true;
+  /// Per-feasible-candidate MC sample count when use_ocba is false
+  /// (the AS+LHS / AS+PMC baselines of Tables 1-4).
+  int fixed_budget = 500;
+  /// Trigger NM local search after this many generations without
+  /// improvement of the best yield (paper: 5).
+  int local_search_stagnation = 5;
+  int nm_max_iterations = 10;     ///< paper: "about 10 iterations"
+  /// Stop after this many generations without improvement (paper: 20).
+  int stop_stagnation = 20;
+  int max_generations = 200;
+  int threads = 0;                ///< MC worker threads; 0 = hardware
+  std::uint64_t seed = 1;
+};
+
+/// One population member's bookkeeping.  Feasible members keep their MC
+/// tally (and evaluation sessions) alive across generations: the ordinal-
+/// optimization stage treats the whole current population as the candidate
+/// set, so surviving parents keep accumulating samples whenever the OCBA
+/// rule judges them worth refining.  This also removes the maximization
+/// bias a frozen noisy estimate of the best member would otherwise inject.
+struct Member {
+  std::vector<double> x;
+  opt::Fitness fitness;
+  long long samples = 0;  ///< MC samples behind fitness.yield
+  std::shared_ptr<mc::CandidateYield> tally;  ///< null for infeasible members
+};
+
+/// Per-generation record (drives Fig. 3, the convergence plots and the
+/// Section 3.4 response-surface study).
+struct GenerationTrace {
+  int generation = 0;
+  double best_yield = 0.0;
+  bool best_feasible = false;
+  long long sims_cumulative = 0;
+  int num_feasible_trials = 0;
+  bool local_search_triggered = false;
+  /// (yield estimate, sample count) of every feasible candidate that was
+  /// MC-estimated this generation -- the OCBA allocation picture.
+  std::vector<std::pair<double, long long>> estimated;
+  /// (x, yield estimate) pairs for response-surface training data.
+  std::vector<std::pair<std::vector<double>, double>> data_points;
+};
+
+struct MohecoResult {
+  Member best;
+  long long total_simulations = 0;
+  int generations = 0;
+  bool reached_full_yield = false;
+  std::vector<GenerationTrace> trace;
+};
+
+class MohecoOptimizer {
+ public:
+  MohecoOptimizer(const mc::YieldProblem& problem, MohecoOptions options);
+
+  MohecoResult run();
+
+  /// Runs only the population initialization and one DE generation, then
+  /// returns.  Used by the Fig. 3 bench to inspect a "typical population".
+  MohecoResult run_generations(int generations);
+
+ private:
+  struct Evaluated {
+    opt::Fitness fitness;
+    long long samples = 0;
+    std::shared_ptr<mc::CandidateYield> tally;
+  };
+
+  /// Screens a batch of candidate vectors (one generation's trials or the
+  /// initial population), then estimates the feasible ones together with
+  /// the feasible current population members (the generation's OO candidate
+  /// pool).  Updates population fitnesses in place and appends OCBA
+  /// bookkeeping to `trace` when non-null.
+  std::vector<Evaluated> evaluate_batch(
+      const std::vector<std::vector<double>>& xs, GenerationTrace* trace);
+
+  /// Full-accuracy (n_max) evaluation of one point, used by the NM local
+  /// search and the final reporting.
+  Evaluated evaluate_accurate(std::span<const double> x);
+
+  std::size_t best_index() const;
+  void local_search(Member& best, GenerationTrace* trace);
+  MohecoResult run_impl(int max_generations);
+
+  const mc::YieldProblem* problem_;
+  MohecoOptions options_;
+  opt::Bounds bounds_;
+  ThreadPool pool_;
+  mc::SimCounter sims_;
+  stats::Rng rng_;
+  std::uint64_t stream_counter_ = 0;
+  std::vector<Member> population_;
+  /// Best vector at the time of the previous NM local search; the search is
+  /// not re-triggered while the best member is unchanged (re-running NM from
+  /// the same simplex seed would repeat the same expensive, fruitless walk).
+  std::vector<double> last_local_search_x_;
+};
+
+}  // namespace moheco::core

@@ -1,0 +1,16 @@
+#include "src/linalg/lsq.hpp"
+
+#include "src/linalg/lu.hpp"
+
+namespace moheco::linalg {
+
+VectorD ridge_least_squares(const MatrixD& a, const VectorD& b, double ridge) {
+  require(a.rows() == b.size(), "ridge_least_squares: dimension mismatch");
+  require(ridge >= 0.0, "ridge_least_squares: ridge must be >= 0");
+  MatrixD normal = ata(a);
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += ridge;
+  VectorD rhs = atb(a, b);
+  return lu_solve(normal, std::move(rhs));
+}
+
+}  // namespace moheco::linalg

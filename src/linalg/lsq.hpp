@@ -1,0 +1,17 @@
+// Regularized linear least squares.
+//
+// Used by the PSWCD worst-case direction estimator (linear model of a spec
+// over the process variables) and as a building block of the Levenberg-
+// Marquardt trainer in src/rsm.
+#pragma once
+
+#include "src/linalg/matrix.hpp"
+
+namespace moheco::linalg {
+
+/// Solves min_w ||A w - b||^2 + ridge * ||w||^2 through the normal equations.
+/// `ridge` must be >= 0; a small positive value keeps the system well-posed
+/// when A is rank-deficient (e.g. more columns than rows).
+VectorD ridge_least_squares(const MatrixD& a, const VectorD& b, double ridge);
+
+}  // namespace moheco::linalg

@@ -1,0 +1,86 @@
+#include "src/linalg/lu.hpp"
+
+#include <cmath>
+
+namespace moheco::linalg {
+namespace {
+
+double magnitude(double x) { return std::fabs(x); }
+double magnitude(const std::complex<double>& x) { return std::abs(x); }
+
+}  // namespace
+
+template <typename Scalar>
+bool LuSolver<Scalar>::factor(const Matrix<Scalar>& a) {
+  require(a.rows() == a.cols(), "LuSolver: matrix must be square");
+  const std::size_t n = a.rows();
+  lu_ = a;
+  pivot_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t p = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = magnitude(lu_(r, k));
+      if (m > best) {
+        best = m;
+        p = r;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) return false;
+    pivot_[k] = p;
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+    }
+    const Scalar inv_diag = Scalar{1} / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Scalar m = lu_(r, k) * inv_diag;
+      lu_(r, k) = m;
+      if (m == Scalar{}) continue;
+      const Scalar* src = lu_.row(k);
+      Scalar* dst = lu_.row(r);
+      for (std::size_t c = k + 1; c < n; ++c) dst[c] -= m * src[c];
+    }
+  }
+  return true;
+}
+
+template <typename Scalar>
+void LuSolver<Scalar>::solve(std::vector<Scalar>& b) const {
+  const std::size_t n = lu_.rows();
+  require(b.size() == n, "LuSolver::solve: dimension mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivot_[k] != k) std::swap(b[k], b[pivot_[k]]);
+  }
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t r = 1; r < n; ++r) {
+    Scalar acc = b[r];
+    const Scalar* row = lu_.row(r);
+    for (std::size_t c = 0; c < r; ++c) acc -= row[c] * b[c];
+    b[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    Scalar acc = b[ri];
+    const Scalar* row = lu_.row(ri);
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= row[c] * b[c];
+    b[ri] = acc / row[ri];
+  }
+}
+
+template class LuSolver<double>;
+template class LuSolver<std::complex<double>>;
+
+VectorD lu_solve(const MatrixD& a, VectorD b) {
+  LuSolver<double> solver;
+  if (!solver.solve(a, b)) throw LinalgError("lu_solve: singular matrix");
+  return b;
+}
+
+VectorC lu_solve(const MatrixC& a, VectorC b) {
+  LuSolver<std::complex<double>> solver;
+  if (!solver.solve(a, b)) throw LinalgError("lu_solve: singular matrix");
+  return b;
+}
+
+}  // namespace moheco::linalg

@@ -1,0 +1,48 @@
+// LU factorization with partial pivoting for real and complex dense systems.
+//
+// The DC Newton iteration refactors the same-size Jacobian hundreds of times
+// per Monte-Carlo sample, so LuSolver keeps its workspace allocated across
+// factorizations.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace moheco::linalg {
+
+/// In-place LU with partial pivoting, reusable workspace.
+template <typename Scalar>
+class LuSolver {
+ public:
+  /// Factors `a` (copied into the internal workspace).
+  /// Returns false when the matrix is numerically singular.
+  bool factor(const Matrix<Scalar>& a);
+
+  /// Solves L U x = P b for the most recent factorization; `b` is overwritten
+  /// with the solution.  Requires a successful factor() first.
+  void solve(std::vector<Scalar>& b) const;
+
+  /// factor() + solve() convenience; returns false when singular.
+  bool solve(const Matrix<Scalar>& a, std::vector<Scalar>& b) {
+    if (!factor(a)) return false;
+    solve(b);
+    return true;
+  }
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix<Scalar> lu_;
+  std::vector<std::size_t> pivot_;
+};
+
+extern template class LuSolver<double>;
+extern template class LuSolver<std::complex<double>>;
+
+/// One-shot solve of A x = b; throws LinalgError on singular A.
+VectorD lu_solve(const MatrixD& a, VectorD b);
+VectorC lu_solve(const MatrixC& a, VectorC b);
+
+}  // namespace moheco::linalg

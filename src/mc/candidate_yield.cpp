@@ -1,0 +1,96 @@
+#include "src/mc/candidate_yield.hpp"
+
+#include <atomic>
+
+#include "src/common/error.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::mc {
+
+CandidateYield::CandidateYield(const YieldProblem& problem,
+                               std::vector<double> x,
+                               std::uint64_t stream_seed, int num_workers)
+    : problem_(&problem),
+      x_(std::move(x)),
+      stream_seed_(stream_seed),
+      sessions_(static_cast<std::size_t>(num_workers)) {
+  require(x_.size() == problem.num_design_vars(),
+          "CandidateYield: design vector size mismatch");
+  require(num_workers > 0, "CandidateYield: need at least one worker");
+}
+
+YieldProblem::Session* CandidateYield::session_for(int worker) {
+  auto& slot = sessions_[static_cast<std::size_t>(worker)];
+  if (!slot) slot = problem_->open(x_);
+  return slot.get();
+}
+
+const SampleResult& CandidateYield::screen_nominal(SimCounter& sims) {
+  if (!screened_) {
+    nominal_ = session_for(0)->evaluate({});
+    screened_ = true;
+    sims.add(1);
+  }
+  return nominal_;
+}
+
+void CandidateYield::refine(long long count, ThreadPool& pool,
+                            SimCounter& sims, const McOptions& options) {
+  if (count <= 0) return;
+  require(static_cast<int>(sessions_.size()) >= pool.num_workers(),
+          "CandidateYield: pool has more workers than session slots");
+  const std::size_t dim = problem_->noise_dim();
+  // Batch seed depends on the batch index so incremental refinement draws
+  // fresh strata each round.
+  const std::uint64_t batch_seed =
+      stats::derive_seed(stream_seed_, 0xBA7C4, ++batches_);
+  const linalg::MatrixD samples = stats::sample_standard_normal(
+      options.sampling, static_cast<std::size_t>(count), dim, batch_seed);
+  std::atomic<long long> pass_count{0};
+  pool.parallel_for(static_cast<std::size_t>(count),
+                    [&](int worker, std::size_t i) {
+                      const SampleResult r = session_for(worker)->evaluate(
+                          {samples.row(i), dim});
+                      if (r.pass) {
+                        pass_count.fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+  samples_ += count;
+  passes_ += pass_count.load();
+  sims.add(count);
+}
+
+double CandidateYield::mean() const {
+  if (samples_ == 0) return 0.0;
+  return static_cast<double>(passes_) / static_cast<double>(samples_);
+}
+
+double CandidateYield::smoothed_variance() const {
+  const double n = static_cast<double>(samples_);
+  const double p = (static_cast<double>(passes_) + 1.0) / (n + 2.0);
+  return p * (1.0 - p);
+}
+
+double reference_yield(const YieldProblem& problem, std::span<const double> x,
+                       long long count, std::uint64_t seed, ThreadPool& pool,
+                       stats::SamplingMethod sampling) {
+  require(count > 0, "reference_yield: count must be positive");
+  const std::size_t dim = problem.noise_dim();
+  const linalg::MatrixD samples = stats::sample_standard_normal(
+      sampling, static_cast<std::size_t>(count), dim, seed);
+  std::vector<std::unique_ptr<YieldProblem::Session>> sessions(
+      static_cast<std::size_t>(pool.num_workers()));
+  std::atomic<long long> pass_count{0};
+  pool.parallel_for(static_cast<std::size_t>(count),
+                    [&](int worker, std::size_t i) {
+                      auto& slot = sessions[static_cast<std::size_t>(worker)];
+                      if (!slot) slot = problem.open(x);
+                      const SampleResult r = slot->evaluate({samples.row(i), dim});
+                      if (r.pass) {
+                        pass_count.fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+  return static_cast<double>(pass_count.load()) / static_cast<double>(count);
+}
+
+}  // namespace moheco::mc

@@ -1,0 +1,76 @@
+// Per-candidate Monte-Carlo yield estimation with incremental refinement.
+//
+// A CandidateYield owns the sampling state of one design point inside one
+// optimizer generation: the nominal acceptance-sampling screen, the running
+// pass tally, and one problem session per worker thread (so batches can be
+// evaluated in parallel while results stay bit-deterministic: sample i of
+// batch b is a pure function of the stream seed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/mc/sim_counter.hpp"
+#include "src/mc/yield_problem.hpp"
+#include "src/stats/samplers.hpp"
+
+namespace moheco::mc {
+
+struct McOptions {
+  stats::SamplingMethod sampling = stats::SamplingMethod::kLHS;
+};
+
+class CandidateYield {
+ public:
+  /// `stream_seed` identifies this candidate's sample stream; giving two
+  /// candidates the same seed makes their MC noise common (not used by the
+  /// optimizers, but handy in tests).
+  CandidateYield(const YieldProblem& problem, std::vector<double> x,
+                 std::uint64_t stream_seed, int num_workers);
+
+  /// Acceptance-sampling screen: evaluates the nominal point once (counts
+  /// one simulation on first call; later calls return the cached result).
+  const SampleResult& screen_nominal(SimCounter& sims);
+  bool screened() const { return screened_; }
+  bool nominal_feasible() const { return screened_ && nominal_.pass; }
+  double nominal_violation() const { return nominal_.violation; }
+
+  /// Draws `count` additional samples and evaluates them on `pool`.
+  void refine(long long count, ThreadPool& pool, SimCounter& sims,
+              const McOptions& options);
+
+  long long samples() const { return samples_; }
+  long long passes() const { return passes_; }
+  /// Estimated yield; 0 when no samples were drawn yet.
+  double mean() const;
+  /// Laplace-smoothed Bernoulli sample variance (never exactly 0, so the
+  /// OCBA ratios stay finite when a tally is all-pass or all-fail).
+  double smoothed_variance() const;
+
+  const std::vector<double>& x() const { return x_; }
+  std::uint64_t stream_seed() const { return stream_seed_; }
+
+ private:
+  YieldProblem::Session* session_for(int worker);
+
+  const YieldProblem* problem_;
+  std::vector<double> x_;
+  std::uint64_t stream_seed_;
+  std::vector<std::unique_ptr<YieldProblem::Session>> sessions_;
+  long long samples_ = 0;
+  long long passes_ = 0;
+  long long batches_ = 0;
+  bool screened_ = false;
+  SampleResult nominal_;
+};
+
+/// Reference yield estimate with `count` fresh samples (used to compute the
+/// deviation columns of Tables 1 and 3; does not touch any SimCounter).
+double reference_yield(const YieldProblem& problem, std::span<const double> x,
+                       long long count, std::uint64_t seed, ThreadPool& pool,
+                       stats::SamplingMethod sampling =
+                           stats::SamplingMethod::kPMC);
+
+}  // namespace moheco::mc

@@ -1,0 +1,164 @@
+#include "src/mc/ocba.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace moheco::mc {
+
+std::vector<long long> ocba_allocation(std::span<const double> means,
+                                       std::span<const double> variances,
+                                       long long total) {
+  const std::size_t s = means.size();
+  require(s == variances.size(), "ocba_allocation: size mismatch");
+  require(s > 0, "ocba_allocation: empty candidate set");
+  require(total >= 0, "ocba_allocation: negative budget");
+  std::vector<long long> out(s, 0);
+  if (s == 1) {
+    out[0] = total;
+    return out;
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < s; ++i) {
+    if (means[i] > means[best]) best = i;
+  }
+  // delta floor keeps ratios finite when a candidate ties with the best;
+  // tied candidates then simply share the largest weights, which is the
+  // right behaviour (they are the hardest to separate).
+  const double delta_floor = 1e-3;
+
+  std::vector<double> weight(s, 0.0);
+  double weight_best_sq = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    if (i == best) continue;
+    require(variances[i] > 0.0, "ocba_allocation: variance must be > 0");
+    const double delta = std::max(means[best] - means[i], delta_floor);
+    const double r = std::sqrt(variances[i]) / delta;
+    weight[i] = r * r;
+    weight_best_sq += weight[i] * weight[i] / variances[i];
+  }
+  require(variances[best] > 0.0, "ocba_allocation: variance must be > 0");
+  weight[best] = std::sqrt(variances[best]) * std::sqrt(weight_best_sq);
+
+  double weight_sum = 0.0;
+  for (double w : weight) weight_sum += w;
+  if (!(weight_sum > 0.0)) {
+    // Degenerate (all weights zero): fall back to equal allocation.
+    const long long each = total / static_cast<long long>(s);
+    for (auto& n : out) n = each;
+    out[0] += total - each * static_cast<long long>(s);
+    return out;
+  }
+
+  long long assigned = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    out[i] = static_cast<long long>(
+        std::floor(static_cast<double>(total) * weight[i] / weight_sum));
+    assigned += out[i];
+  }
+  // Distribute the rounding remainder to the largest weights.
+  std::vector<std::size_t> order(s);
+  for (std::size_t i = 0; i < s; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return weight[a] > weight[b]; });
+  for (std::size_t k = 0; assigned < total; k = (k + 1) % s) {
+    ++out[order[k]];
+    ++assigned;
+  }
+  return out;
+}
+
+std::vector<std::size_t> two_stage_estimate(
+    std::span<CandidateYield* const> candidates,
+    const TwoStageOptions& options, ThreadPool& pool, SimCounter& sims) {
+  const std::size_t s = candidates.size();
+  std::vector<std::size_t> promoted;
+  if (s == 0) return promoted;
+  require(options.n0 > 0 && options.sim_avg >= options.n0,
+          "two_stage_estimate: need sim_avg >= n0 > 0");
+  require(options.n_max >= options.sim_avg,
+          "two_stage_estimate: need n_max >= sim_avg");
+
+  // Candidates may arrive with samples from earlier generations (surviving
+  // population members); the fresh generation budget is sim_avg per *new*
+  // candidate, allocated by OCBA over the whole pool on top of whatever the
+  // pool has already accumulated.
+  long long initial_total = 0;
+  long long num_new = 0;
+  for (const CandidateYield* c : candidates) {
+    initial_total += c->samples();
+    if (c->samples() < options.n0) ++num_new;
+  }
+
+  // Stage 1a: n0 pilot samples per new candidate.
+  for (CandidateYield* c : candidates) {
+    if (c->samples() < options.n0) {
+      c->refine(options.n0 - c->samples(), pool, sims, options.mc);
+    }
+  }
+
+  // Stage 1b: iterative OCBA up to sim_avg fresh samples per new candidate.
+  const long long total_budget =
+      initial_total + static_cast<long long>(options.sim_avg) * num_new;
+  auto spent = [&]() {
+    long long sum = 0;
+    for (const CandidateYield* c : candidates) sum += c->samples();
+    return sum;
+  };
+  const long long auto_delta = std::max<long long>(
+      static_cast<long long>(s), total_budget / 10);
+  const long long delta =
+      options.delta > 0 ? options.delta : auto_delta;
+
+  std::vector<double> means(s), variances(s);
+  while (true) {
+    const long long used = spent();
+    if (used >= total_budget) break;
+    const long long round_total = std::min(total_budget, used + delta);
+    for (std::size_t i = 0; i < s; ++i) {
+      means[i] = candidates[i]->mean();
+      variances[i] = candidates[i]->smoothed_variance();
+    }
+    const std::vector<long long> target =
+        ocba_allocation(means, variances, round_total);
+    // Candidates below their target absorb the round budget; candidates
+    // above it cannot give samples back, so cap the total added at the
+    // round increment to keep the overall spend at T.
+    long long allowance = round_total - used;
+    long long added = 0;
+    for (std::size_t i = 0; i < s && allowance > 0; ++i) {
+      long long extra = target[i] - candidates[i]->samples();
+      // Never exceed the stage-2 cap during stage 1.
+      extra = std::min(extra,
+                       static_cast<long long>(options.n_max) -
+                           candidates[i]->samples());
+      extra = std::min(extra, allowance);
+      if (extra > 0) {
+        candidates[i]->refine(extra, pool, sims, options.mc);
+        added += extra;
+        allowance -= extra;
+      }
+    }
+    if (added == 0) {
+      // OCBA wants to move budget to already-saturated candidates; stop.
+      break;
+    }
+  }
+
+  // Stage 2: accurate estimation of candidates above the threshold.
+  for (std::size_t i = 0; i < s; ++i) {
+    if (candidates[i]->mean() > options.stage2_threshold &&
+        candidates[i]->samples() < options.n_max) {
+      candidates[i]->refine(options.n_max - candidates[i]->samples(), pool,
+                            sims, options.mc);
+      promoted.push_back(i);
+    } else if (candidates[i]->samples() >= options.n_max) {
+      promoted.push_back(i);
+    }
+  }
+  return promoted;
+}
+
+}  // namespace moheco::mc

@@ -1,0 +1,22 @@
+// Shared simulation-budget accounting.
+//
+// The paper reports costs in "number of simulations"; every evaluation of a
+// (design, sample) pair -- including the nominal acceptance-sampling screens
+// -- increments this counter exactly once.
+#pragma once
+
+#include <atomic>
+
+namespace moheco::mc {
+
+class SimCounter {
+ public:
+  void add(long long n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
+  long long total() const { return count_.load(std::memory_order_relaxed); }
+  void reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> count_{0};
+};
+
+}  // namespace moheco::mc

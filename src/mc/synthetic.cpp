@@ -1,0 +1,105 @@
+#include "src/mc/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/stats/distributions.hpp"
+
+namespace moheco::mc {
+namespace {
+
+class QuadraticSession final : public YieldProblem::Session {
+ public:
+  QuadraticSession(double margin, double sigma, std::size_t noise_dim)
+      : margin_(margin), sigma_(sigma), noise_dim_(noise_dim) {}
+
+  SampleResult evaluate(std::span<const double> xi) override {
+    double w = 0.0;
+    if (!xi.empty()) {
+      require(xi.size() == noise_dim_, "QuadraticSession: xi size mismatch");
+      for (double z : xi) w += z;
+      w /= std::sqrt(static_cast<double>(noise_dim_));
+    }
+    const double g = margin_ + sigma_ * w;
+    SampleResult r;
+    r.pass = g >= 0.0;
+    r.violation = r.pass ? 0.0 : -g;
+    return r;
+  }
+
+ private:
+  double margin_;
+  double sigma_;
+  std::size_t noise_dim_;
+};
+
+class ArmSession final : public YieldProblem::Session {
+ public:
+  ArmSession(double yield) : yield_(yield) {}
+
+  SampleResult evaluate(std::span<const double> xi) override {
+    SampleResult r;
+    if (xi.empty()) {
+      r.pass = true;  // nominal screen always passes for arms
+      return r;
+    }
+    // Map the standard-normal noise to uniform through Phi.
+    const double u = moheco::stats::normal_cdf(xi[0]);
+    r.pass = u < yield_;
+    r.violation = r.pass ? 0.0 : 1.0;
+    return r;
+  }
+
+ private:
+  double yield_;
+};
+
+}  // namespace
+
+QuadraticYieldProblem::QuadraticYieldProblem(std::size_t design_dim,
+                                             std::size_t noise_dim, double r2,
+                                             double sigma, double box)
+    : design_dim_(design_dim),
+      noise_dim_(noise_dim),
+      r2_(r2),
+      sigma_(sigma),
+      box_(box) {
+  require(design_dim > 0 && noise_dim > 0, "QuadraticYieldProblem: empty dims");
+  require(sigma > 0.0, "QuadraticYieldProblem: sigma must be > 0");
+}
+
+double QuadraticYieldProblem::margin(std::span<const double> x) const {
+  require(x.size() == design_dim_, "QuadraticYieldProblem: x size mismatch");
+  double norm2 = 0.0;
+  for (double v : x) norm2 += v * v;
+  return r2_ - norm2;
+}
+
+double QuadraticYieldProblem::true_yield(std::span<const double> x) const {
+  return moheco::stats::normal_cdf(margin(x) / sigma_);
+}
+
+std::unique_ptr<YieldProblem::Session> QuadraticYieldProblem::open(
+    std::span<const double> x) const {
+  return std::make_unique<QuadraticSession>(margin(x), sigma_, noise_dim_);
+}
+
+BernoulliArmsProblem::BernoulliArmsProblem(std::vector<double> yields)
+    : yields_(std::move(yields)) {
+  require(!yields_.empty(), "BernoulliArmsProblem: need at least one arm");
+  for (double y : yields_) {
+    require(y >= 0.0 && y <= 1.0, "BernoulliArmsProblem: yield out of [0,1]");
+  }
+}
+
+std::unique_ptr<YieldProblem::Session> BernoulliArmsProblem::open(
+    std::span<const double> x) const {
+  require(x.size() == 1, "BernoulliArmsProblem: x must be 1-D");
+  const long long arm = std::llround(x[0]);
+  require(arm >= 0 && arm < static_cast<long long>(yields_.size()),
+          "BernoulliArmsProblem: arm index out of range");
+  return std::make_unique<ArmSession>(yields_[static_cast<std::size_t>(arm)]);
+}
+
+}  // namespace moheco::mc

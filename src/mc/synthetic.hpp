@@ -1,0 +1,58 @@
+// Synthetic yield problems with closed-form yields, used by the unit tests
+// and the OCBA/sampler ablation benches (no circuit simulation involved).
+#pragma once
+
+#include <vector>
+
+#include "src/mc/yield_problem.hpp"
+
+namespace moheco::mc {
+
+/// Pass iff  r2 - |x|^2 + sigma * w >= 0,  where w = sum(xi) / sqrt(d) is
+/// standard normal.  Hence Yield(x) = Phi((r2 - |x|^2) / sigma) exactly.
+/// The nominal point is feasible iff |x|^2 <= r2.
+class QuadraticYieldProblem final : public YieldProblem {
+ public:
+  QuadraticYieldProblem(std::size_t design_dim, std::size_t noise_dim,
+                        double r2, double sigma, double box = 2.0);
+
+  std::size_t num_design_vars() const override { return design_dim_; }
+  double lower_bound(std::size_t) const override { return -box_; }
+  double upper_bound(std::size_t) const override { return box_; }
+  std::size_t noise_dim() const override { return noise_dim_; }
+  std::unique_ptr<Session> open(std::span<const double> x) const override;
+
+  /// Closed-form yield at x.
+  double true_yield(std::span<const double> x) const;
+  double margin(std::span<const double> x) const;
+
+ private:
+  std::size_t design_dim_;
+  std::size_t noise_dim_;
+  double r2_;
+  double sigma_;
+  double box_;
+};
+
+/// A fixed set of "arms" with known Bernoulli yields; design x selects the
+/// arm by index (x[0] rounded).  Used to measure OCBA's probability of
+/// correct selection against equal allocation.
+class BernoulliArmsProblem final : public YieldProblem {
+ public:
+  explicit BernoulliArmsProblem(std::vector<double> yields);
+
+  std::size_t num_design_vars() const override { return 1; }
+  double lower_bound(std::size_t) const override { return 0.0; }
+  double upper_bound(std::size_t) const override {
+    return static_cast<double>(yields_.size()) - 1.0;
+  }
+  std::size_t noise_dim() const override { return 1; }
+  std::unique_ptr<Session> open(std::span<const double> x) const override;
+
+  const std::vector<double>& yields() const { return yields_; }
+
+ private:
+  std::vector<double> yields_;
+};
+
+}  // namespace moheco::mc

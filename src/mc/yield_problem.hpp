@@ -1,0 +1,57 @@
+// Abstract yield-optimization problem.
+//
+// A problem is a design space (bounded real vector x), a noise space (the
+// process variations, presented to samplers as standard-normal vectors xi),
+// and a pass/fail evaluation of one (x, xi) pair.  Yield(x) is the
+// probability of "pass" over xi; the optimizers maximize it subject to the
+// feasibility of the nominal point (acceptance-sampling screen).
+//
+// Evaluations happen through Sessions bound to one design point; sessions
+// carry whatever per-candidate state makes repeated sampling cheap (for the
+// circuit problems: the sized netlist, the nominal operating point used as
+// a Newton warm start, and the nominal GBW used to seed the crossing
+// search).  Distinct sessions must be usable concurrently.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace moheco::mc {
+
+struct SampleResult {
+  bool pass = false;
+  /// Sum of normalized spec violations (0 when pass); used by Deb's
+  /// constraint-handling rules for infeasible candidates.
+  double violation = 0.0;
+};
+
+class YieldProblem {
+ public:
+  virtual ~YieldProblem() = default;
+
+  virtual std::size_t num_design_vars() const = 0;
+  virtual double lower_bound(std::size_t i) const = 0;
+  virtual double upper_bound(std::size_t i) const = 0;
+  /// Dimension of the standard-normal noise vector xi.
+  virtual std::size_t noise_dim() const = 0;
+
+  class Session {
+   public:
+    virtual ~Session() = default;
+    /// Evaluates one noise sample; an empty span means the nominal point.
+    /// Each call counts as one "simulation" in the budget accounting.
+    virtual SampleResult evaluate(std::span<const double> xi) = 0;
+  };
+
+  /// Opens an evaluation session at design x (x is copied).
+  virtual std::unique_ptr<Session> open(std::span<const double> x) const = 0;
+
+  /// Convenience one-shot evaluation.
+  SampleResult evaluate(std::span<const double> x,
+                        std::span<const double> xi) const {
+    return open(x)->evaluate(xi);
+  }
+};
+
+}  // namespace moheco::mc

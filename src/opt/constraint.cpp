@@ -1,0 +1,16 @@
+#include "src/opt/constraint.hpp"
+
+namespace moheco::opt {
+
+bool deb_better(const Fitness& a, const Fitness& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (!a.feasible) return a.violation < b.violation;
+  return a.yield > b.yield;
+}
+
+double deb_scalar(const Fitness& f) {
+  if (f.feasible) return -f.yield;
+  return 1.0 + f.violation;
+}
+
+}  // namespace moheco::opt

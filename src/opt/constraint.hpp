@@ -1,0 +1,24 @@
+// Deb's selection-based constraint handling (Deb 2000), the rule the paper
+// uses to combine circuit-spec feasibility with yield maximization:
+//   1. a feasible solution beats any infeasible one;
+//   2. between two infeasible solutions, the smaller violation wins;
+//   3. between two feasible solutions, the larger yield wins.
+#pragma once
+
+namespace moheco::opt {
+
+struct Fitness {
+  bool feasible = false;
+  double violation = 1e30;  ///< nominal constraint violation (infeasible)
+  double yield = 0.0;       ///< estimated yield (feasible)
+};
+
+/// True when `a` is strictly better than `b` under Deb's rules.
+bool deb_better(const Fitness& a, const Fitness& b);
+
+/// Scalarization consistent with deb_better (smaller is better): feasible
+/// solutions map to -yield in [-1, 0], infeasible ones to violation + 1.
+/// Used by scalar-objective local search (Nelder-Mead).
+double deb_scalar(const Fitness& f);
+
+}  // namespace moheco::opt

@@ -1,0 +1,60 @@
+#include "src/opt/de.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace moheco::opt {
+
+void clip_to_bounds(std::span<double> x, const Bounds& bounds) {
+  require(x.size() == bounds.dim(), "clip_to_bounds: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], bounds.lo[i], bounds.hi[i]);
+  }
+}
+
+std::vector<double> random_point(const Bounds& bounds, stats::Rng& rng) {
+  std::vector<double> x(bounds.dim());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(bounds.lo[i], bounds.hi[i]);
+  }
+  return x;
+}
+
+std::vector<double> de_trial(std::span<const std::vector<double>> population,
+                             std::size_t target, std::size_t best,
+                             const DeConfig& config, const Bounds& bounds,
+                             stats::Rng& rng) {
+  const std::size_t np = population.size();
+  require(np >= 4, "de_trial: population must have at least 4 members");
+  require(target < np && best < np, "de_trial: index out of range");
+  const std::size_t dim = bounds.dim();
+
+  const std::size_t base =
+      config.base == DeBase::kBest ? best : rng.below(np);
+  std::size_t r1 = 0, r2 = 0;
+  do {
+    r1 = rng.below(np);
+  } while (r1 == target || r1 == base);
+  do {
+    r2 = rng.below(np);
+  } while (r2 == target || r2 == base || r2 == r1);
+
+  const std::vector<double>& xb = population[base];
+  const std::vector<double>& x1 = population[r1];
+  const std::vector<double>& x2 = population[r2];
+  const std::vector<double>& xt = population[target];
+  require(xb.size() == dim && xt.size() == dim,
+          "de_trial: member dimension mismatch");
+
+  std::vector<double> trial(dim);
+  const std::size_t forced = rng.below(dim);  // guaranteed mutant component
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double mutant = xb[j] + config.f * (x1[j] - x2[j]);
+    trial[j] = (j == forced || rng.uniform() < config.cr) ? mutant : xt[j];
+  }
+  clip_to_bounds(trial, bounds);
+  return trial;
+}
+
+}  // namespace moheco::opt

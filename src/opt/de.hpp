@@ -1,0 +1,49 @@
+// Differential Evolution operators (Price, Storn & Lampinen 2005).
+//
+// MOHECO's outer loop owns the population and selection (the estimator and
+// Deb's rules live there), so this header provides the variation operators
+// only: DE/best/1/bin and DE/rand/1/bin trial generation with bound clipping.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/stats/rng.hpp"
+
+namespace moheco::opt {
+
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::size_t dim() const { return lo.size(); }
+};
+
+enum class DeBase {
+  kBest,  ///< DE/best/1: base vector is the population best (paper's choice)
+  kRand,  ///< DE/rand/1
+};
+
+struct DeConfig {
+  double f = 0.8;   ///< differential weight (paper: 0.8)
+  double cr = 0.8;  ///< crossover rate (paper: 0.8)
+  DeBase base = DeBase::kBest;
+};
+
+/// Clamps x into [lo, hi] componentwise.
+void clip_to_bounds(std::span<double> x, const Bounds& bounds);
+
+/// Uniform random point in the bounds box.
+std::vector<double> random_point(const Bounds& bounds, stats::Rng& rng);
+
+/// Generates the DE trial vector for population member `target`:
+/// mutation v = base + F * (x_r1 - x_r2) with distinct r1, r2 (!= target,
+/// != base index), then binomial crossover with the target (at least one
+/// mutated component), then bound clipping.
+/// `population[i]` are the current member vectors; all must share dim().
+std::vector<double> de_trial(std::span<const std::vector<double>> population,
+                             std::size_t target, std::size_t best,
+                             const DeConfig& config, const Bounds& bounds,
+                             stats::Rng& rng);
+
+}  // namespace moheco::opt

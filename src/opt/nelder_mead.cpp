@@ -1,0 +1,127 @@
+#include "src/opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace moheco::opt {
+namespace {
+
+// Standard NM coefficients.
+constexpr double kReflect = 1.0;
+constexpr double kExpand = 2.0;
+constexpr double kContract = 0.5;
+constexpr double kShrink = 0.5;
+
+}  // namespace
+
+NelderMeadResult nelder_mead(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> x0, const Bounds& bounds,
+    const NelderMeadOptions& options) {
+  const std::size_t dim = bounds.dim();
+  require(x0.size() == dim, "nelder_mead: x0 dimension mismatch");
+
+  NelderMeadResult result;
+  auto eval = [&](std::vector<double>& x) {
+    clip_to_bounds(x, bounds);
+    ++result.evaluations;
+    return objective(x);
+  };
+
+  // Initial simplex: x0 plus one offset vertex per coordinate.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> f;
+  simplex.reserve(dim + 1);
+  simplex.emplace_back(x0.begin(), x0.end());
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::vector<double> v(x0.begin(), x0.end());
+    const double range = bounds.hi[j] - bounds.lo[j];
+    double step = options.step_fraction * range;
+    // Step towards the interior when x0 sits on the upper bound.
+    if (v[j] + step > bounds.hi[j]) step = -step;
+    v[j] += step;
+    simplex.push_back(std::move(v));
+  }
+  f.resize(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) f[i] = eval(simplex[i]);
+
+  std::vector<std::size_t> order(simplex.size());
+  auto sort_simplex = [&]() {
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    sort_simplex();
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+    if (f[worst] - f[best] < options.f_tolerance) break;
+
+    // Centroid of all vertices except the worst.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i < simplex.size(); ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < dim; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> x(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        x[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      return x;
+    };
+
+    std::vector<double> reflected = blend(kReflect);
+    const double f_reflected = eval(reflected);
+    if (f_reflected < f[best]) {
+      std::vector<double> expanded = blend(kReflect * kExpand);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = std::move(expanded);
+        f[worst] = f_expanded;
+      } else {
+        simplex[worst] = std::move(reflected);
+        f[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < f[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      f[worst] = f_reflected;
+      continue;
+    }
+    // Contraction (outside if the reflection helped at least vs worst).
+    const bool outside = f_reflected < f[worst];
+    std::vector<double> contracted =
+        blend(outside ? kReflect * kContract : -kContract);
+    const double f_contracted = eval(contracted);
+    if (f_contracted < std::min(f_reflected, f[worst])) {
+      simplex[worst] = std::move(contracted);
+      f[worst] = f_contracted;
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 0; i < simplex.size(); ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < dim; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kShrink * (simplex[i][j] - simplex[best][j]);
+      }
+      f[i] = eval(simplex[i]);
+    }
+  }
+
+  sort_simplex();
+  result.best_x = simplex[order.front()];
+  result.best_f = f[order.front()];
+  return result;
+}
+
+}  // namespace moheco::opt

@@ -1,0 +1,41 @@
+// Bounded Nelder-Mead simplex search (Lagarias et al. 1998 coefficients).
+//
+// The paper uses NM as the memetic local-search operator, applied only to
+// the best DE member and only after the yield has stagnated; each objective
+// evaluation there costs a full n_max-sample MC run, so the iteration budget
+// is small (~10) and the implementation counts evaluations exactly.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/opt/de.hpp"
+
+namespace moheco::opt {
+
+struct NelderMeadOptions {
+  int max_iterations = 10;
+  /// Initial simplex: vertex j offsets coordinate j by step_fraction of the
+  /// variable's range (clipped to bounds).
+  double step_fraction = 0.05;
+  /// Stop early when the simplex collapses (objective spread below this).
+  double f_tolerance = 1e-12;
+};
+
+struct NelderMeadResult {
+  std::vector<double> best_x;
+  double best_f = 0.0;
+  int evaluations = 0;
+  int iterations = 0;
+};
+
+/// Minimizes `objective` starting from `x0`.  All evaluated points are
+/// clipped into `bounds` first, so the objective never sees out-of-box
+/// points.
+NelderMeadResult nelder_mead(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> x0, const Bounds& bounds,
+    const NelderMeadOptions& options);
+
+}  // namespace moheco::opt

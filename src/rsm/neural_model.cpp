@@ -1,0 +1,174 @@
+#include "src/rsm/neural_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/linalg/lu.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::rsm {
+namespace {
+
+// Parameter packing: W1 (h x d) row-major, b1 (h), w2 (h), b2 (1).
+std::size_t param_count(std::size_t d, int h) {
+  const auto hh = static_cast<std::size_t>(h);
+  return hh * d + hh + hh + 1;
+}
+
+}  // namespace
+
+NeuralYieldModel::NeuralYieldModel(std::size_t input_dim, MlpOptions options)
+    : input_dim_(input_dim), options_(options) {
+  require(input_dim > 0, "NeuralYieldModel: input_dim must be > 0");
+  require(options.hidden > 0, "NeuralYieldModel: hidden must be > 0");
+  theta_.assign(param_count(input_dim_, options_.hidden), 0.0);
+}
+
+std::size_t NeuralYieldModel::num_parameters() const { return theta_.size(); }
+
+void NeuralYieldModel::normalize(std::span<const double> x,
+                                 std::vector<double>* out) const {
+  out->resize(input_dim_);
+  for (std::size_t j = 0; j < input_dim_; ++j) {
+    const double range = x_hi_[j] - x_lo_[j];
+    (*out)[j] = range > 0.0 ? 2.0 * (x[j] - x_lo_[j]) / range - 1.0 : 0.0;
+  }
+}
+
+double NeuralYieldModel::forward(const std::vector<double>& xn,
+                                 std::vector<double>* hidden_act) const {
+  const auto h = static_cast<std::size_t>(options_.hidden);
+  const double* w1 = theta_.data();
+  const double* b1 = w1 + h * input_dim_;
+  const double* w2 = b1 + h;
+  const double b2 = w2[h];
+  double y = b2;
+  if (hidden_act != nullptr) hidden_act->resize(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    double z = b1[k];
+    const double* row = w1 + k * input_dim_;
+    for (std::size_t j = 0; j < input_dim_; ++j) z += row[j] * xn[j];
+    const double a = std::tanh(z);
+    if (hidden_act != nullptr) (*hidden_act)[k] = a;
+    y += w2[k] * a;
+  }
+  return y;
+}
+
+double NeuralYieldModel::fit(const linalg::MatrixD& x,
+                             const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  require(x.cols() == input_dim_, "NeuralYieldModel::fit: input dim mismatch");
+  require(y.size() == n, "NeuralYieldModel::fit: target size mismatch");
+  require(n >= 2, "NeuralYieldModel::fit: need at least 2 samples");
+
+  // Input normalization ranges from the training data.
+  x_lo_.assign(input_dim_, 1e300);
+  x_hi_.assign(input_dim_, -1e300);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < input_dim_; ++j) {
+      x_lo_[j] = std::min(x_lo_[j], x(i, j));
+      x_hi_[j] = std::max(x_hi_[j], x(i, j));
+    }
+  }
+  std::vector<std::vector<double>> xn(n);
+  for (std::size_t i = 0; i < n; ++i) normalize({x.row(i), input_dim_}, &xn[i]);
+
+  // Nguyen-Widrow-ish small random initialization.
+  stats::Rng rng(options_.seed);
+  for (double& w : theta_) w = 0.5 * rng.normal();
+
+  const auto h = static_cast<std::size_t>(options_.hidden);
+  const std::size_t p = theta_.size();
+  linalg::MatrixD jacobian(n, p);
+  std::vector<double> residual(n);
+  std::vector<double> act;
+
+  auto sse = [&](const std::vector<double>& theta) {
+    const std::vector<double> saved = theta_;
+    const_cast<NeuralYieldModel*>(this)->theta_ = theta;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = forward(xn[i], nullptr) - y[i];
+      acc += r * r;
+    }
+    const_cast<NeuralYieldModel*>(this)->theta_ = saved;
+    return acc;
+  };
+
+  double mu = options_.mu0;
+  double current_sse = sse(theta_);
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    // Jacobian of residuals w.r.t. parameters.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double out = forward(xn[i], &act);
+      residual[i] = out - y[i];
+      double* jrow = jacobian.row(i);
+      const double* w2 = theta_.data() + h * input_dim_ + h;
+      for (std::size_t k = 0; k < h; ++k) {
+        const double da = 1.0 - act[k] * act[k];  // tanh'
+        const double g = w2[k] * da;
+        for (std::size_t j = 0; j < input_dim_; ++j) {
+          jrow[k * input_dim_ + j] = g * xn[i][j];  // dW1
+        }
+        jrow[h * input_dim_ + k] = g;       // db1
+        jrow[h * input_dim_ + h + k] = act[k];  // dw2
+      }
+      jrow[p - 1] = 1.0;  // db2
+    }
+
+    linalg::MatrixD normal = linalg::ata(jacobian);
+    const std::vector<double> grad = linalg::atb(jacobian, residual);
+
+    bool stepped = false;
+    while (mu <= options_.mu_max) {
+      linalg::MatrixD damped = normal;
+      for (std::size_t k = 0; k < p; ++k) damped(k, k) += mu;
+      linalg::LuSolver<double> solver;
+      std::vector<double> delta = grad;
+      if (!solver.solve(damped, delta)) {
+        mu *= options_.mu_increase;
+        continue;
+      }
+      std::vector<double> trial = theta_;
+      for (std::size_t k = 0; k < p; ++k) trial[k] -= delta[k];
+      const double trial_sse = sse(trial);
+      if (trial_sse < current_sse) {
+        theta_ = std::move(trial);
+        const double improvement = current_sse - trial_sse;
+        current_sse = trial_sse;
+        mu = std::max(mu * options_.mu_decrease, 1e-12);
+        stepped = true;
+        if (improvement < options_.tolerance) epoch = options_.max_epochs;
+        break;
+      }
+      mu *= options_.mu_increase;
+    }
+    if (!stepped) break;  // mu exhausted: converged
+  }
+  trained_ = true;
+  return std::sqrt(current_sse / static_cast<double>(n));
+}
+
+double NeuralYieldModel::predict(std::span<const double> x) const {
+  require(trained_, "NeuralYieldModel::predict: model is not trained");
+  require(x.size() == input_dim_, "NeuralYieldModel::predict: dim mismatch");
+  std::vector<double> xn;
+  normalize(x, &xn);
+  return forward(xn, nullptr);
+}
+
+double NeuralYieldModel::rms_error(const linalg::MatrixD& x,
+                                   const std::vector<double>& y) const {
+  require(x.rows() == y.size() && x.rows() > 0,
+          "NeuralYieldModel::rms_error: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double e = predict({x.row(i), input_dim_}) - y[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(x.rows()));
+}
+
+}  // namespace moheco::rsm

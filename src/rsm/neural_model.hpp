@@ -1,0 +1,62 @@
+// Response-surface model for Section 3.4 of the paper: a backpropagation
+// neural network (one hidden tanh layer, 20 neurons by default) trained
+// with the Levenberg-Marquardt algorithm to regress yield as a black-box
+// function of the design variables.
+//
+// The paper uses this model as the representative response-surface-based
+// (RSB) method and shows that, trained on the data produced by a MOHECO
+// run, its RMS yield-prediction error stays far above MC accuracy -- the
+// argument for MC-based optimization in nanometer technologies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace moheco::rsm {
+
+struct MlpOptions {
+  int hidden = 20;          ///< paper: 20 neurons in the hidden layer
+  int max_epochs = 150;     ///< LM iterations
+  double mu0 = 1e-2;        ///< initial LM damping
+  double mu_increase = 10.0;
+  double mu_decrease = 0.1;
+  double mu_max = 1e10;
+  double tolerance = 1e-10; ///< stop when SSE improvement falls below this
+  std::uint64_t seed = 1;   ///< weight initialization
+};
+
+/// y ~ w2 . tanh(W1 x + b1) + b2, trained by Levenberg-Marquardt.
+/// Inputs are normalized internally to [-1, 1] from the training data's
+/// per-dimension ranges.
+class NeuralYieldModel {
+ public:
+  NeuralYieldModel(std::size_t input_dim, MlpOptions options = {});
+
+  /// Trains on rows of `x` (n x input_dim) against targets `y` (n).
+  /// Returns the final root-mean-square training error.
+  double fit(const linalg::MatrixD& x, const std::vector<double>& y);
+
+  double predict(std::span<const double> x) const;
+
+  /// RMS prediction error over a labelled set.
+  double rms_error(const linalg::MatrixD& x, const std::vector<double>& y) const;
+
+  std::size_t num_parameters() const;
+  bool trained() const { return trained_; }
+
+ private:
+  void normalize(std::span<const double> x, std::vector<double>* out) const;
+  double forward(const std::vector<double>& xn,
+                 std::vector<double>* hidden_act) const;
+
+  std::size_t input_dim_;
+  MlpOptions options_;
+  std::vector<double> theta_;  ///< packed [W1 | b1 | w2 | b2]
+  std::vector<double> x_lo_, x_hi_;
+  bool trained_ = false;
+};
+
+}  // namespace moheco::rsm

@@ -1,0 +1,47 @@
+// Small-signal AC analysis: complex MNA built around a DC operating point.
+//
+// The real conductance stamp G (devices linearized at the op point) and the
+// capacitance stamp C are assembled once; each frequency point solves
+// (G + j*2*pi*f*C(f-terms)) x = b.  Inductors contribute -j*w*L on their
+// branch diagonal.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/linalg/lu.hpp"
+#include "src/spice/dc_solver.hpp"
+#include "src/spice/mna.hpp"
+#include "src/spice/netlist.hpp"
+
+namespace moheco::spice {
+
+class AcSolver {
+ public:
+  /// `op` must come from a DcSolver on the same netlist.
+  AcSolver(const Netlist& netlist, const OperatingPoint& op);
+
+  /// Solves the AC system at `freq` (Hz, > 0).  On success the node voltages
+  /// are available through voltage()/transfer().
+  SolveStatus solve(double freq);
+
+  /// Complex node voltage of node `n` at the last solved frequency.
+  std::complex<double> voltage(NodeId n) const;
+  /// V(np) - V(nn).
+  std::complex<double> differential(NodeId np, NodeId nn) const;
+
+ private:
+  void assemble(double omega);
+
+  const Netlist& netlist_;
+  MnaLayout layout_;
+  linalg::MatrixD g_;        // real conductance stamps
+  linalg::MatrixD c_;        // capacitance stamps (multiplied by j*omega)
+  std::vector<double> l_branch_;  // inductance per inductor branch index
+  linalg::MatrixC y_;
+  linalg::VectorC rhs_;
+  linalg::VectorC solution_;
+  linalg::LuSolver<std::complex<double>> lu_;
+};
+
+}  // namespace moheco::spice

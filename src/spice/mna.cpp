@@ -1,0 +1,23 @@
+#include "src/spice/mna.hpp"
+
+namespace moheco::spice {
+
+MnaLayout::MnaLayout(const Netlist& netlist) {
+  num_nodes_ = static_cast<std::size_t>(netlist.num_nodes());
+  std::size_t next = num_nodes_;
+  vsource_branch_.resize(netlist.vsources().size());
+  for (std::size_t i = 0; i < vsource_branch_.size(); ++i) {
+    vsource_branch_[i] = next++;
+  }
+  vcvs_branch_.resize(netlist.vcvs().size());
+  for (std::size_t i = 0; i < vcvs_branch_.size(); ++i) {
+    vcvs_branch_[i] = next++;
+  }
+  inductor_branch_.resize(netlist.inductors().size());
+  for (std::size_t i = 0; i < inductor_branch_.size(); ++i) {
+    inductor_branch_[i] = next++;
+  }
+  size_ = next;
+}
+
+}  // namespace moheco::spice

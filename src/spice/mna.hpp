@@ -1,0 +1,79 @@
+// Modified Nodal Analysis layout: maps circuit unknowns (node voltages and
+// branch currents of voltage-defined elements) to matrix indices.
+//
+// The layout is computed once per netlist and shared by the DC and AC
+// solvers, so a DC solution vector can warm-start subsequent DC solves and
+// feed the AC linearization directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/spice/netlist.hpp"
+
+namespace moheco::spice {
+
+class MnaLayout {
+ public:
+  explicit MnaLayout(const Netlist& netlist);
+
+  /// Total unknown count: nodes + branch currents.
+  std::size_t size() const { return size_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Matrix index of node `n`'s voltage; -1 for ground.
+  int node_index(NodeId n) const { return n - 1; }
+
+  /// Matrix index of the branch current of vsource/vcvs/inductor `i`.
+  std::size_t vsource_branch(std::size_t i) const { return vsource_branch_[i]; }
+  std::size_t vcvs_branch(std::size_t i) const { return vcvs_branch_[i]; }
+  std::size_t inductor_branch(std::size_t i) const { return inductor_branch_[i]; }
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::size_t> vsource_branch_;
+  std::vector<std::size_t> vcvs_branch_;
+  std::vector<std::size_t> inductor_branch_;
+};
+
+/// Helper for stamping into a dense matrix with ground (index -1) elision.
+template <typename Scalar>
+class Stamper {
+ public:
+  Stamper(linalg::Matrix<Scalar>& a, std::vector<Scalar>& rhs)
+      : a_(a), rhs_(rhs) {}
+
+  /// Adds `g` between matrix rows/cols (r, c); ignores ground (-1).
+  void add(int r, int c, Scalar g) {
+    if (r < 0 || c < 0) return;
+    a_(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += g;
+  }
+  /// Adds a two-terminal admittance `g` between nodes with matrix indices
+  /// (i, j): the classic 4-entry stamp.
+  void conductance(int i, int j, Scalar g) {
+    add(i, i, g);
+    add(j, j, g);
+    add(i, j, -g);
+    add(j, i, -g);
+  }
+  /// Transconductance gm from control pair (cp, cn) injecting current into
+  /// (np -> out of nn).
+  void transconductance(int np, int nn, int cp, int cn, Scalar gm) {
+    add(np, cp, gm);
+    add(np, cn, -gm);
+    add(nn, cp, -gm);
+    add(nn, cn, gm);
+  }
+  void rhs_add(int r, Scalar value) {
+    if (r < 0) return;
+    rhs_[static_cast<std::size_t>(r)] += value;
+  }
+
+ private:
+  linalg::Matrix<Scalar>& a_;
+  std::vector<Scalar>& rhs_;
+};
+
+}  // namespace moheco::spice

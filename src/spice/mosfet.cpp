@@ -1,0 +1,129 @@
+#include "src/spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moheco::spice {
+namespace {
+
+constexpr double kEpsOx = 3.453e-11;  // F/m, SiO2 permittivity
+constexpr double kVt = 0.025852;      // thermal voltage at 300K (V)
+
+/// Smooth overdrive q(vgst) = 2nvt * ln(1 + exp(vgst / (2nvt))).
+/// q -> vgst for strong inversion, exponentially small in cutoff; C-inf.
+struct Overdrive {
+  double q;
+  double dq;  // dq/dvgst in (0,1)
+};
+
+Overdrive smooth_overdrive(double vgst, double n_sub) {
+  const double a = 2.0 * n_sub * kVt;
+  const double z = vgst / a;
+  Overdrive out;
+  if (z > 40.0) {  // exp overflow guard; asymptotically q = vgst
+    out.q = vgst;
+    out.dq = 1.0;
+  } else if (z < -40.0) {
+    out.q = a * std::exp(z);
+    out.dq = std::exp(z);
+  } else {
+    const double e = std::exp(z);
+    out.q = a * std::log1p(e);
+    out.dq = e / (1.0 + e);
+  }
+  // Keep q strictly positive so divisions by vdsat are safe.
+  if (out.q < 1e-12) out.q = 1e-12;
+  return out;
+}
+
+}  // namespace
+
+double MosModel::cox() const { return kEpsOx / tox; }
+
+double MosModel::lambda_at(double l_eff) const {
+  return lambda * lambda_lref / std::max(l_eff, 1e-9);
+}
+
+MosEval eval_mos(const MosModel& model, double w_eff, double l_eff,
+                 double vgs, double vds, double vbs) {
+  // Symmetric device: for vds < 0 swap drain and source, evaluate, negate.
+  if (vds < 0.0) {
+    // After swapping: vgd becomes the gate drive, vbd the body bias.
+    MosEval swapped =
+        eval_mos(model, w_eff, l_eff, vgs - vds, -vds, vbs - vds);
+    MosEval out;
+    out.id = -swapped.id;
+    // Chain rule through (vgs' = vgs - vds, vds' = -vds, vbs' = vbs - vds):
+    out.gm = swapped.gm;
+    out.gmb = swapped.gmb;
+    out.gds = swapped.gm + swapped.gds + swapped.gmb;
+    out.vth = swapped.vth;
+    out.vdsat = swapped.vdsat;
+    out.saturated = false;  // reverse conduction is never "saturated" here
+    return out;
+  }
+
+  w_eff = std::max(w_eff, 1e-8);
+  l_eff = std::max(l_eff, 1e-8);
+
+  MosEval out;
+  // Body effect with a smooth clamp of vsb = -vbs at 0 (forward body bias is
+  // simply ignored; these circuits tie bulk to the rail).
+  const double vsb = -vbs;
+  const double delta = 1e-4;
+  const double vsb_eff = 0.5 * (vsb + std::sqrt(vsb * vsb + delta));
+  const double dvsb_eff = 0.5 * (1.0 + vsb / std::sqrt(vsb * vsb + delta));
+  const double sq_phi_vsb = std::sqrt(model.phi + vsb_eff);
+  const double sq_phi = std::sqrt(model.phi);
+  out.vth = model.vth0 + model.gamma * (sq_phi_vsb - sq_phi);
+  const double dvth_dvbs = -model.gamma * dvsb_eff / (2.0 * sq_phi_vsb);
+
+  const Overdrive od = smooth_overdrive(vgs - out.vth, model.n_sub);
+  out.vdsat = od.q;
+
+  const double beta = model.u0 * model.cox() * w_eff / l_eff;
+  const double lambda = model.lambda_at(l_eff);
+  const double clm = 1.0 + lambda * vds;
+
+  double id_base = 0.0;   // current without CLM factor
+  double did_dq = 0.0;    // d(id_base)/dq
+  double did_dvds = 0.0;  // d(id_base)/dvds at fixed q
+  if (vds >= od.q) {
+    out.saturated = true;
+    id_base = 0.5 * beta * od.q * od.q;
+    did_dq = beta * od.q;
+    did_dvds = 0.0;
+  } else {
+    out.saturated = false;
+    id_base = beta * (od.q * vds - 0.5 * vds * vds);
+    did_dq = beta * vds;
+    did_dvds = beta * (od.q - vds);
+  }
+  out.id = id_base * clm;
+  out.gds = did_dvds * clm + id_base * lambda;
+  const double did_dvgst = did_dq * od.dq * clm;
+  out.gm = did_dvgst;
+  out.gmb = did_dvgst * (-dvth_dvbs);  // dId/dVbs = gm * (-dVth/dVbs) >= 0
+  return out;
+}
+
+MosCaps mos_caps(const MosModel& model, double w_eff, double l_eff,
+                 bool saturated) {
+  MosCaps caps;
+  const double c_channel = model.cox() * w_eff * l_eff;
+  if (saturated) {
+    caps.cgs = (2.0 / 3.0) * c_channel + model.cgso * w_eff;
+    caps.cgd = model.cgdo * w_eff;
+  } else {
+    caps.cgs = 0.5 * c_channel + model.cgso * w_eff;
+    caps.cgd = 0.5 * c_channel + model.cgdo * w_eff;
+  }
+  caps.cgb = 0.1 * c_channel;
+  const double area = w_eff * model.ldiff;
+  const double perim = 2.0 * (w_eff + model.ldiff);
+  caps.cdb = model.cj * area + model.cjsw * perim;
+  caps.csb = model.cj * area + model.cjsw * perim;
+  return caps;
+}
+
+}  // namespace moheco::spice

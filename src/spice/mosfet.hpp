@@ -1,0 +1,74 @@
+// Compact MOSFET model: a smooth Level-1 (square-law) model with EKV-style
+// weak-inversion interpolation, channel-length modulation and body effect.
+//
+// This is the process-aware device behind the HSPICE substitution (see
+// DESIGN.md): the overdrive is smoothed so the DC Newton iteration has C^1
+// characteristics across cutoff/saturation/triode, which matters for Monte-
+// Carlo robustness (hundreds of thousands of operating-point solves).
+//
+// Process variables enter through the model card fields (vth0, tox, u0) and
+// through the effective dimensions (ld/wd reduce the drawn W/L); the process
+// model in src/circuits perturbs these per inter-die sample and per device
+// (intra-die mismatch).
+#pragma once
+
+namespace moheco::spice {
+
+/// Technology-level model card.  All quantities in SI units.
+struct MosModel {
+  double vth0 = 0.5;    ///< zero-bias threshold voltage (V); magnitude for PMOS
+  double gamma = 0.4;   ///< body-effect coefficient (sqrt(V))
+  double phi = 0.7;     ///< surface potential 2*phi_F (V)
+  double lambda = 0.05; ///< channel-length modulation at l_ref (1/V)
+  double lambda_lref = 1e-6;  ///< reference length for lambda scaling (m)
+  double u0 = 0.040;    ///< low-field mobility (m^2/Vs)
+  double tox = 7.5e-9;  ///< gate-oxide thickness (m)
+  double ld = 0.0;      ///< lateral diffusion: l_eff = l - 2*ld (m)
+  double wd = 0.0;      ///< width reduction: w_eff = w - 2*wd (m)
+  double n_sub = 1.5;   ///< subthreshold slope factor
+  double cgso = 2e-10;  ///< G-S overlap capacitance per width (F/m)
+  double cgdo = 2e-10;  ///< G-D overlap capacitance per width (F/m)
+  double cj = 9e-4;     ///< junction area capacitance (F/m^2)
+  double cjsw = 2.5e-10;///< junction sidewall capacitance (F/m)
+  double ldiff = 5e-7;  ///< source/drain diffusion extent (m)
+
+  /// Oxide capacitance per area, eps_ox / tox (F/m^2).
+  double cox() const;
+  /// Channel-length modulation scaled to effective length l_eff:
+  /// lambda_eff = lambda * lambda_lref / l_eff (shorter channel -> stronger).
+  double lambda_at(double l_eff) const;
+};
+
+/// Large-signal evaluation result at one bias point (NMOS convention; the
+/// stamping code flips voltages for PMOS).
+struct MosEval {
+  double id = 0.0;    ///< drain current, d->s (A)
+  double gm = 0.0;    ///< dId/dVgs (S)
+  double gds = 0.0;   ///< dId/dVds (S)
+  double gmb = 0.0;   ///< dId/dVbs (S)
+  double vth = 0.0;   ///< bias-dependent threshold (V)
+  double vdsat = 0.0; ///< saturation voltage (smoothed overdrive) (V)
+  bool saturated = false;  ///< vds >= vdsat (classification, not smoothing)
+};
+
+/// Evaluates the smooth Level-1 model at (vgs, vds, vbs) for an NMOS-
+/// convention device with effective dimensions (w_eff, l_eff).
+/// Requires vds >= 0 handling: callers must orient drain/source so vds >= 0
+/// is typical; negative vds is evaluated by symmetric swap internally.
+MosEval eval_mos(const MosModel& model, double w_eff, double l_eff,
+                 double vgs, double vds, double vbs);
+
+/// Small-signal capacitances at the operating point (Meyer-style constants:
+/// saturation partition 2/3 CoxWL to Cgs, overlaps added, junction caps at
+/// zero bias).  Good enough for pole/GBW estimation in the AC substrate.
+struct MosCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cgb = 0.0;
+  double cdb = 0.0;
+  double csb = 0.0;
+};
+MosCaps mos_caps(const MosModel& model, double w_eff, double l_eff,
+                 bool saturated);
+
+}  // namespace moheco::spice

@@ -1,0 +1,129 @@
+#include "src/spice/netlist.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace moheco::spice {
+
+double Mosfet::w_eff() const { return std::max(w - 2.0 * model.wd, 1e-8); }
+double Mosfet::l_eff() const { return std::max(l - 2.0 * model.ld, 1e-8); }
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_["0"] = 0;
+  node_ids_["gnd"] = 0;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  if (id < 0 || id >= static_cast<NodeId>(node_names_.size())) {
+    throw NetlistError("node_name: invalid node id");
+  }
+  return node_names_[id];
+}
+
+NodeId Netlist::check_node(NodeId id) const {
+  if (id < 0 || id >= static_cast<NodeId>(node_names_.size())) {
+    throw NetlistError("device references unknown node id");
+  }
+  return id;
+}
+
+int Netlist::add_resistor(const std::string& name, NodeId n1, NodeId n2,
+                          double r) {
+  if (!(r > 0.0)) throw NetlistError("resistor " + name + ": R must be > 0");
+  resistors_.push_back({name, check_node(n1), check_node(n2), r});
+  return static_cast<int>(resistors_.size()) - 1;
+}
+
+int Netlist::add_capacitor(const std::string& name, NodeId n1, NodeId n2,
+                           double c) {
+  if (c < 0.0) throw NetlistError("capacitor " + name + ": C must be >= 0");
+  capacitors_.push_back({name, check_node(n1), check_node(n2), c});
+  return static_cast<int>(capacitors_.size()) - 1;
+}
+
+int Netlist::add_inductor(const std::string& name, NodeId n1, NodeId n2,
+                          double l) {
+  if (!(l > 0.0)) throw NetlistError("inductor " + name + ": L must be > 0");
+  inductors_.push_back({name, check_node(n1), check_node(n2), l});
+  return static_cast<int>(inductors_.size()) - 1;
+}
+
+int Netlist::add_vsource(const std::string& name, NodeId np, NodeId nn,
+                         double dc, double ac_mag) {
+  vsources_.push_back({name, check_node(np), check_node(nn), dc, ac_mag});
+  return static_cast<int>(vsources_.size()) - 1;
+}
+
+int Netlist::add_isource(const std::string& name, NodeId np, NodeId nn,
+                         double dc, double ac_mag) {
+  isources_.push_back({name, check_node(np), check_node(nn), dc, ac_mag});
+  return static_cast<int>(isources_.size()) - 1;
+}
+
+int Netlist::add_vcvs(const std::string& name, NodeId np, NodeId nn, NodeId cp,
+                      NodeId cn, double gain) {
+  vcvs_.push_back(
+      {name, check_node(np), check_node(nn), check_node(cp), check_node(cn),
+       gain});
+  return static_cast<int>(vcvs_.size()) - 1;
+}
+
+int Netlist::add_vccs(const std::string& name, NodeId np, NodeId nn, NodeId cp,
+                      NodeId cn, double gm) {
+  vccs_.push_back(
+      {name, check_node(np), check_node(nn), check_node(cp), check_node(cn),
+       gm});
+  return static_cast<int>(vccs_.size()) - 1;
+}
+
+int Netlist::add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                        NodeId b, bool is_pmos, double w, double l,
+                        const MosModel& model) {
+  if (!(w > 0.0 && l > 0.0)) {
+    throw NetlistError("mosfet " + name + ": W and L must be > 0");
+  }
+  Mosfet m;
+  m.name = name;
+  m.d = check_node(d);
+  m.g = check_node(g);
+  m.s = check_node(s);
+  m.b = check_node(b);
+  m.is_pmos = is_pmos;
+  m.w = w;
+  m.l = l;
+  m.model = model;
+  mosfets_.push_back(m);
+  return static_cast<int>(mosfets_.size()) - 1;
+}
+
+void Netlist::validate() const {
+  std::vector<int> touched(node_names_.size(), 0);
+  auto touch = [&](NodeId n) { touched.at(n) += 1; };
+  for (const auto& r : resistors_) { touch(r.n1); touch(r.n2); }
+  for (const auto& c : capacitors_) { touch(c.n1); touch(c.n2); }
+  for (const auto& l : inductors_) { touch(l.n1); touch(l.n2); }
+  for (const auto& v : vsources_) { touch(v.np); touch(v.nn); }
+  for (const auto& i : isources_) { touch(i.np); touch(i.nn); }
+  for (const auto& e : vcvs_) { touch(e.np); touch(e.nn); }
+  for (const auto& g : vccs_) { touch(g.np); touch(g.nn); }
+  for (const auto& m : mosfets_) { touch(m.d); touch(m.g); touch(m.s); touch(m.b); }
+  for (std::size_t n = 1; n < touched.size(); ++n) {
+    if (touched[n] == 0) {
+      throw NetlistError("node " + node_names_[n] +
+                         " is not connected to any device");
+    }
+  }
+}
+
+}  // namespace moheco::spice

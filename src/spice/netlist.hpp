@@ -1,0 +1,145 @@
+// In-memory netlist: named nodes plus typed device lists.
+//
+// Devices are stored in per-type vectors (struct-of-vectors) rather than a
+// polymorphic hierarchy: the solver stamps each type in a tight loop, and
+// the Monte-Carlo driver mutates MOSFET instance parameters in place between
+// samples (same topology, perturbed process), which keeps the MNA layout and
+// the DC warm-start valid across samples.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/spice/mosfet.hpp"
+
+namespace moheco::spice {
+
+/// Node identifier; 0 is always ground ("0" / "gnd").
+using NodeId = int;
+
+struct Resistor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double resistance = 0.0;  // ohms, must be > 0
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double capacitance = 0.0;  // farads, >= 0
+};
+
+/// Inductor: short at DC, jwL at AC.  Used by testbenches as the classic
+/// "DC servo" element that closes the bias loop at DC and opens it at AC.
+struct Inductor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double inductance = 0.0;  // henries, > 0
+};
+
+struct VSource {
+  std::string name;
+  NodeId np = 0, nn = 0;
+  double dc = 0.0;
+  double ac_mag = 0.0;  ///< AC magnitude (phase 0); 0 for pure bias sources
+};
+
+struct ISource {
+  std::string name;
+  NodeId np = 0, nn = 0;  ///< positive current flows np -> nn through source
+  double dc = 0.0;
+  double ac_mag = 0.0;
+};
+
+/// Voltage-controlled voltage source: V(np,nn) = gain * V(cp,cn).
+struct Vcvs {
+  std::string name;
+  NodeId np = 0, nn = 0, cp = 0, cn = 0;
+  double gain = 0.0;
+};
+
+/// Voltage-controlled current source: I(np->nn) = gm * V(cp,cn).
+struct Vccs {
+  std::string name;
+  NodeId np = 0, nn = 0, cp = 0, cn = 0;
+  double gm = 0.0;
+};
+
+struct Mosfet {
+  std::string name;
+  NodeId d = 0, g = 0, s = 0, b = 0;
+  bool is_pmos = false;
+  double w = 1e-6;  ///< drawn width (m); effective width = w - 2*model.wd
+  double l = 1e-6;  ///< drawn length (m); effective length = l - 2*model.ld
+  MosModel model;   ///< per-instance card (process perturbations land here)
+
+  double w_eff() const;
+  double l_eff() const;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Returns the id for `name`, creating the node on first use.
+  /// "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  /// Number of non-ground nodes; valid ids are 1..num_nodes().
+  int num_nodes() const { return static_cast<int>(node_names_.size()) - 1; }
+  const std::string& node_name(NodeId id) const;
+
+  int add_resistor(const std::string& name, NodeId n1, NodeId n2, double r);
+  int add_capacitor(const std::string& name, NodeId n1, NodeId n2, double c);
+  int add_inductor(const std::string& name, NodeId n1, NodeId n2, double l);
+  int add_vsource(const std::string& name, NodeId np, NodeId nn, double dc,
+                  double ac_mag = 0.0);
+  int add_isource(const std::string& name, NodeId np, NodeId nn, double dc,
+                  double ac_mag = 0.0);
+  int add_vcvs(const std::string& name, NodeId np, NodeId nn, NodeId cp,
+               NodeId cn, double gain);
+  int add_vccs(const std::string& name, NodeId np, NodeId nn, NodeId cp,
+               NodeId cn, double gm);
+  int add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                 NodeId b, bool is_pmos, double w, double l,
+                 const MosModel& model);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Vcvs>& vcvs() const { return vcvs_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+  /// Mutable access for per-sample process perturbation / value updates.
+  /// Topology (node connections, device counts) must not change after the
+  /// first solver is constructed on this netlist.
+  Mosfet& mosfet(int index) { return mosfets_.at(index); }
+  VSource& vsource(int index) { return vsources_.at(index); }
+  ISource& isource(int index) { return isources_.at(index); }
+  Resistor& resistor(int index) { return resistors_.at(index); }
+  Capacitor& capacitor(int index) { return capacitors_.at(index); }
+
+  /// Structural checks: values positive where required, node ids valid,
+  /// every non-ground node touched by at least one device.
+  /// Throws NetlistError on violation.
+  void validate() const;
+
+ private:
+  NodeId check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;  // [0] = "0"
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Vcvs> vcvs_;
+  std::vector<Vccs> vccs_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace moheco::spice

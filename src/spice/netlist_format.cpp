@@ -1,0 +1,114 @@
+#include "src/spice/netlist_format.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace moheco::spice {
+namespace {
+
+void write_value(std::ostream& os, double value) {
+  std::ostringstream tmp;
+  tmp.precision(9);
+  tmp << value;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void write_spice_deck(std::ostream& os, const Netlist& netlist,
+                      const std::string& title) {
+  os << "* " << title << "\n";
+  auto node = [&](NodeId n) -> const std::string& {
+    return netlist.node_name(n);
+  };
+  for (const auto& r : netlist.resistors()) {
+    os << r.name << ' ' << node(r.n1) << ' ' << node(r.n2) << ' ';
+    write_value(os, r.resistance);
+    os << '\n';
+  }
+  for (const auto& c : netlist.capacitors()) {
+    os << c.name << ' ' << node(c.n1) << ' ' << node(c.n2) << ' ';
+    write_value(os, c.capacitance);
+    os << '\n';
+  }
+  for (const auto& l : netlist.inductors()) {
+    os << l.name << ' ' << node(l.n1) << ' ' << node(l.n2) << ' ';
+    write_value(os, l.inductance);
+    os << '\n';
+  }
+  for (const auto& v : netlist.vsources()) {
+    os << v.name << ' ' << node(v.np) << ' ' << node(v.nn) << " DC ";
+    write_value(os, v.dc);
+    if (v.ac_mag != 0.0) {
+      os << " AC ";
+      write_value(os, v.ac_mag);
+    }
+    os << '\n';
+  }
+  for (const auto& i : netlist.isources()) {
+    os << i.name << ' ' << node(i.np) << ' ' << node(i.nn) << " DC ";
+    write_value(os, i.dc);
+    if (i.ac_mag != 0.0) {
+      os << " AC ";
+      write_value(os, i.ac_mag);
+    }
+    os << '\n';
+  }
+  for (const auto& e : netlist.vcvs()) {
+    os << e.name << ' ' << node(e.np) << ' ' << node(e.nn) << ' '
+       << node(e.cp) << ' ' << node(e.cn) << ' ';
+    write_value(os, e.gain);
+    os << '\n';
+  }
+  for (const auto& g : netlist.vccs()) {
+    os << g.name << ' ' << node(g.np) << ' ' << node(g.nn) << ' '
+       << node(g.cp) << ' ' << node(g.cn) << ' ';
+    write_value(os, g.gm);
+    os << '\n';
+  }
+  for (const auto& m : netlist.mosfets()) {
+    os << m.name << ' ' << node(m.d) << ' ' << node(m.g) << ' ' << node(m.s)
+       << ' ' << node(m.b) << " model_" << m.name << " W=";
+    write_value(os, m.w);
+    os << " L=";
+    write_value(os, m.l);
+    os << '\n';
+  }
+  for (const auto& m : netlist.mosfets()) {
+    os << ".model model_" << m.name << ' ' << (m.is_pmos ? "PMOS" : "NMOS")
+       << " (LEVEL=1 VTO=";
+    write_value(os, (m.is_pmos ? -1.0 : 1.0) * m.model.vth0);
+    os << " GAMMA=";
+    write_value(os, m.model.gamma);
+    os << " PHI=";
+    write_value(os, m.model.phi);
+    os << " LAMBDA=";
+    write_value(os, m.model.lambda_at(m.l_eff()));
+    os << " TOX=";
+    write_value(os, m.model.tox);
+    os << " UO=";
+    write_value(os, m.model.u0 * 1e4);  // SPICE expects cm^2/Vs
+    os << " LD=";
+    write_value(os, m.model.ld);
+    os << " WD=";
+    write_value(os, m.model.wd);
+    os << " CGSO=";
+    write_value(os, m.model.cgso);
+    os << " CGDO=";
+    write_value(os, m.model.cgdo);
+    os << " CJ=";
+    write_value(os, m.model.cj);
+    os << " CJSW=";
+    write_value(os, m.model.cjsw);
+    os << ")\n";
+  }
+  os << ".end\n";
+}
+
+std::string to_spice_deck(const Netlist& netlist, const std::string& title) {
+  std::ostringstream oss;
+  write_spice_deck(oss, netlist, title);
+  return oss.str();
+}
+
+}  // namespace moheco::spice

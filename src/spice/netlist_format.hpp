@@ -1,0 +1,22 @@
+// SPICE-deck-style netlist export, for debugging sized circuits and for
+// cross-checking against an external simulator (the generated deck uses
+// generic elements plus .model cards for the Level-1 parameters).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/spice/netlist.hpp"
+
+namespace moheco::spice {
+
+/// Writes `netlist` as a SPICE-like deck to `os`.  `title` becomes the
+/// first line.  Every device appears with its node names and value;
+/// MOSFETs reference per-instance .model cards emitted at the end.
+void write_spice_deck(std::ostream& os, const Netlist& netlist,
+                      const std::string& title);
+
+/// Convenience: returns the deck as a string.
+std::string to_spice_deck(const Netlist& netlist, const std::string& title);
+
+}  // namespace moheco::spice

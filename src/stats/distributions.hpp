@@ -1,0 +1,23 @@
+// Normal distribution utilities: CDF, inverse CDF (for LHS stratified
+// sampling), and binomial confidence intervals for yield estimates.
+#pragma once
+
+namespace moheco::stats {
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p), p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step;
+/// absolute error < 1e-12 over (1e-300, 1-1e-16).
+double normal_quantile(double p);
+
+/// Wilson score interval for a binomial proportion with k successes out of n
+/// trials at z standard errors (z = 1.96 for ~95%).
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+Interval wilson_interval(long long k, long long n, double z);
+
+}  // namespace moheco::stats

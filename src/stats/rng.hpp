@@ -1,0 +1,49 @@
+// Deterministic random-number generation.
+//
+// All stochastic components (MC sampling, DE operators, initialization)
+// derive their streams from explicit 64-bit seeds through SplitMix64-based
+// key derivation.  Monte-Carlo sample i of evaluation j uses the stream
+// derive(seed, j, i), so results are bit-identical no matter how samples are
+// scheduled across threads.
+#pragma once
+
+#include <cstdint>
+
+namespace moheco::stats {
+
+/// SplitMix64 mixing function (public-domain constants, Steele et al. 2014).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derives a child seed from a parent seed and up to three stream indices.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t a,
+                          std::uint64_t b = 0, std::uint64_t c = 0);
+
+/// xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t below(std::uint64_t n);
+  /// Standard normal variate (Box-Muller with cached spare).
+  double normal();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace moheco::stats

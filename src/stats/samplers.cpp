@@ -1,0 +1,57 @@
+#include "src/stats/samplers.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/stats/distributions.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::stats {
+
+SamplingMethod parse_sampling_method(const std::string& text) {
+  if (text == "pmc" || text == "PMC") return SamplingMethod::kPMC;
+  if (text == "lhs" || text == "LHS") return SamplingMethod::kLHS;
+  throw InvalidArgument("unknown sampling method: " + text);
+}
+
+const char* to_string(SamplingMethod method) {
+  return method == SamplingMethod::kPMC ? "PMC" : "LHS";
+}
+
+linalg::MatrixD sample_standard_normal(SamplingMethod method,
+                                       std::size_t count, std::size_t dim,
+                                       std::uint64_t seed) {
+  require(count > 0 && dim > 0, "sample_standard_normal: empty request");
+  linalg::MatrixD samples(count, dim);
+  if (method == SamplingMethod::kPMC) {
+    // Each row gets its own derived stream so that row i is independent of
+    // the total batch size (useful for incremental estimation).
+    for (std::size_t i = 0; i < count; ++i) {
+      Rng rng(derive_seed(seed, i));
+      double* row = samples.row(i);
+      for (std::size_t d = 0; d < dim; ++d) row[d] = rng.normal();
+    }
+    return samples;
+  }
+  // LHS: per-column random permutation of strata plus in-stratum jitter.
+  std::vector<std::size_t> perm(count);
+  for (std::size_t d = 0; d < dim; ++d) {
+    Rng rng(derive_seed(seed, 0x4c4853 /* "LHS" */, d));
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = count; i-- > 1;) {
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const double u =
+          (static_cast<double>(perm[i]) + rng.uniform()) /
+          static_cast<double>(count);
+      // Clamp away from {0,1}; quantile is undefined there.
+      const double clamped = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+      samples(i, d) = normal_quantile(clamped);
+    }
+  }
+  return samples;
+}
+
+}  // namespace moheco::stats

@@ -1,0 +1,31 @@
+// Monte-Carlo samplers for the process-variation space.
+//
+// Both samplers emit standard-normal vectors; the process model (see
+// src/circuits/process.hpp) scales them by per-variable sigmas.  LHS
+// stratifies each coordinate within a batch, which is the DOE speed
+// enhancement the paper adopts from Stein (1987); PMC is the primitive MC
+// baseline.  Batches are deterministic functions of the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/linalg/matrix.hpp"
+
+namespace moheco::stats {
+
+enum class SamplingMethod { kPMC, kLHS };
+
+/// Parses "pmc" / "lhs".
+SamplingMethod parse_sampling_method(const std::string& text);
+const char* to_string(SamplingMethod method);
+
+/// Returns a `count` x `dim` matrix whose rows are standard-normal sample
+/// vectors.  With kLHS each column is stratified into `count` equiprobable
+/// bins with one sample per bin (random within-bin offset, independent random
+/// permutations per column).
+linalg::MatrixD sample_standard_normal(SamplingMethod method,
+                                       std::size_t count, std::size_t dim,
+                                       std::uint64_t seed);
+
+}  // namespace moheco::stats

@@ -1,0 +1,33 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace moheco::stats {
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+Summary summarize(const std::vector<double>& values) {
+  require(!values.empty(), "summarize: empty sample");
+  Summary s;
+  s.best = *std::min_element(values.begin(), values.end());
+  s.worst = *std::max_element(values.begin(), values.end());
+  Welford w;
+  for (double v : values) w.add(v);
+  s.mean = w.mean();
+  s.variance = w.variance();
+  return s;
+}
+
+}  // namespace moheco::stats

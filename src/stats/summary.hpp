@@ -1,0 +1,34 @@
+// Streaming and batch summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moheco::stats {
+
+/// Welford's online mean/variance accumulator.
+class Welford {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than 2 observations.
+  double variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Batch summary of a sample (used by benches for the best/worst/avg/variance
+/// rows of Tables 1-4).
+struct Summary {
+  double best = 0.0;   // minimum
+  double worst = 0.0;  // maximum
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased
+};
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace moheco::stats

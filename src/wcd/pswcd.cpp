@@ -1,0 +1,176 @@
+#include "src/wcd/pswcd.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/linalg/lsq.hpp"
+#include "src/opt/constraint.hpp"
+#include "src/opt/de.hpp"
+#include "src/stats/rng.hpp"
+#include "src/stats/samplers.hpp"
+
+namespace moheco::wcd {
+namespace {
+
+using circuits::Metric;
+using circuits::Performance;
+using circuits::Spec;
+
+double spec_violation(const Spec& spec, double value) {
+  const double gap =
+      spec.lower_bound ? (spec.bound - value) : (value - spec.bound);
+  return gap > 0.0 ? gap / spec.scale : 0.0;
+}
+
+}  // namespace
+
+PswcdOptimizer::PswcdOptimizer(const circuits::CircuitYieldProblem& problem,
+                               PswcdOptions options)
+    : problem_(&problem), options_(options), pool_(options.threads) {
+  require(options.pilot_samples >= 4, "PswcdOptimizer: need >= 4 pilots");
+}
+
+WorstCaseReport PswcdOptimizer::analyze(std::span<const double> x) {
+  WorstCaseReport report;
+  const auto& evaluator = problem_->evaluator();
+  const auto& specs = problem_->topology().specs();
+  const std::size_t dim = problem_->noise_dim();
+  auto session = evaluator.session(x);
+
+  const Performance nominal = session->evaluate({});
+  sims_.add(1);
+  report.nominal_power = nominal.power;
+  report.nominal_feasible = circuits::passes(nominal, specs);
+  if (!nominal.valid) {
+    report.feasible = false;
+    report.worst_violation = 100.0;
+    return report;
+  }
+
+  // Pilot sample around the nominal point for the linear sensitivity model.
+  const auto pilots = static_cast<std::size_t>(options_.pilot_samples);
+  const linalg::MatrixD xi = stats::sample_standard_normal(
+      stats::SamplingMethod::kLHS, pilots, dim,
+      stats::derive_seed(options_.seed, 0x44C, pilots));
+  linalg::MatrixD metric_values(pilots, specs.size());
+  std::vector<std::unique_ptr<circuits::AmplifierEvaluator::Session>> sessions(
+      static_cast<std::size_t>(pool_.num_workers()));
+  pool_.parallel_for(pilots, [&](int worker, std::size_t i) {
+    auto& slot = sessions[static_cast<std::size_t>(worker)];
+    if (!slot) slot = evaluator.session(x);
+    const Performance perf = slot->evaluate({xi.row(i), dim});
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      metric_values(i, k) =
+          perf.valid ? circuits::metric_value(perf, specs[k].metric)
+                     : circuits::metric_value(Performance{}, specs[k].metric);
+    }
+  });
+  sims_.add(static_cast<long long>(pilots));
+
+  // Per-spec worst case: linear model metric ~ g . xi, pushed k_sigma along
+  // the adverse direction, then verified with one simulation.
+  report.feasible = true;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    std::vector<double> rhs(pilots);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < pilots; ++i) mean += metric_values(i, k);
+    mean /= static_cast<double>(pilots);
+    for (std::size_t i = 0; i < pilots; ++i) {
+      rhs[i] = metric_values(i, k) - mean;
+    }
+    const linalg::VectorD g = linalg::ridge_least_squares(xi, rhs, 1e-6);
+    double norm = 0.0;
+    for (double v : g) norm += v * v;
+    norm = std::sqrt(norm);
+    std::vector<double> worst_xi(dim, 0.0);
+    if (norm > 0.0) {
+      // Lower-bound specs degrade along -g; upper-bound ones along +g.
+      const double sign = specs[k].lower_bound ? -1.0 : 1.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        worst_xi[j] = sign * options_.k_sigma * g[j] / norm;
+      }
+    }
+    const Performance wc = session->evaluate(worst_xi);
+    sims_.add(1);
+    const double value =
+        wc.valid ? circuits::metric_value(wc, specs[k].metric)
+                 : circuits::metric_value(Performance{}, specs[k].metric);
+    const double violation = spec_violation(specs[k], value);
+    if (violation > 0.0) report.feasible = false;
+    report.worst_violation += violation;
+  }
+  return report;
+}
+
+PswcdResult PswcdOptimizer::run() {
+  sims_.reset();
+  const std::size_t dim = problem_->num_design_vars();
+  opt::Bounds bounds;
+  bounds.lo.resize(dim);
+  bounds.hi.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    bounds.lo[i] = problem_->lower_bound(i);
+    bounds.hi[i] = problem_->upper_bound(i);
+  }
+  stats::Rng rng(stats::derive_seed(options_.seed, 0x95CD));
+
+  struct Candidate {
+    std::vector<double> x;
+    WorstCaseReport report;
+  };
+  // Deb ordering: worst-case feasibility as the constraint, power as the
+  // objective (mapped through yield = -power so deb_better minimizes it).
+  auto fitness = [](const WorstCaseReport& r) {
+    opt::Fitness f;
+    f.feasible = r.feasible;
+    f.violation = r.worst_violation;
+    f.yield = -r.nominal_power;
+    return f;
+  };
+
+  std::vector<Candidate> population(
+      static_cast<std::size_t>(options_.population));
+  for (auto& member : population) {
+    member.x = opt::random_point(bounds, rng);
+    member.report = analyze(member.x);
+  }
+
+  PswcdResult result;
+  for (int gen = 1; gen <= options_.max_generations; ++gen) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < population.size(); ++i) {
+      if (opt::deb_better(fitness(population[i].report),
+                          fitness(population[best].report))) {
+        best = i;
+      }
+    }
+    std::vector<std::vector<double>> xs(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      xs[i] = population[i].x;
+    }
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      std::vector<double> trial =
+          opt::de_trial(xs, i, best, opt::DeConfig{}, bounds, rng);
+      const WorstCaseReport report = analyze(trial);
+      if (opt::deb_better(fitness(report), fitness(population[i].report))) {
+        population[i].x = std::move(trial);
+        population[i].report = report;
+      }
+    }
+    result.generations = gen;
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < population.size(); ++i) {
+    if (opt::deb_better(fitness(population[i].report),
+                        fitness(population[best].report))) {
+      best = i;
+    }
+  }
+  result.best_x = population[best].x;
+  result.best_report = population[best].report;
+  result.total_simulations = sims_.total();
+  return result;
+}
+
+}  // namespace moheco::wcd

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/options.hpp"
+#include "src/common/results_cache.hpp"
+#include "src/common/table.hpp"
+
+namespace moheco {
+namespace {
+
+TEST(Table, AlignsColumnsAndCounts) {
+  Table t({"methods", "best", "worst"});
+  t.add_row({"MOHECO", "0.04%", "0.63%"});
+  t.add_row({"AS+LHS", "0.22%", "1.94%"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream oss;
+  t.print(oss, "Table 1");
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("MOHECO"), std::string::npos);
+  EXPECT_NE(out.find("| methods |"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_percent(0.0032, 2), "0.32%");
+  EXPECT_EQ(format_sig(3.6e-6), "3.60e-06");
+  EXPECT_EQ(format_sig(123456.0, 3), "123456");  // within fixed range
+  EXPECT_EQ(format_sig(0.0), "0");
+}
+
+TEST(Options, EnvAndArgsParsing) {
+  setenv("MOHECO_SCALE", "smoke", 1);
+  char prog[] = "bench";
+  char runs[] = "--runs=5";
+  char seed[] = "--seed=99";
+  char* argv[] = {prog, runs, seed};
+  const BenchOptions options = parse_bench_options(3, argv);
+  EXPECT_EQ(options.scale, BenchScale::kSmoke);
+  EXPECT_EQ(options.runs, 5);  // explicit flag overrides the scale preset
+  EXPECT_EQ(options.seed, 99u);
+  unsetenv("MOHECO_SCALE");
+}
+
+TEST(Options, RejectsUnknownArgument) {
+  char prog[] = "bench";
+  char bogus[] = "--bogus";
+  char* argv[] = {prog, bogus};
+  EXPECT_THROW(parse_bench_options(2, argv), InvalidArgument);
+}
+
+TEST(Options, DescribeMentionsScale) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchOptions options = parse_bench_options(1, argv);
+  EXPECT_NE(describe(options).find("scale="), std::string::npos);
+}
+
+TEST(ResultsCache, RoundTrips) {
+  ResultsCache cache("/tmp/moheco_cache_test");
+  ResultMap results;
+  results["dev"] = {0.1, 0.2, 0.3};
+  results["sims"] = {100.0, 200.0};
+  cache.store("unit test key!", results);
+  const auto loaded = cache.load("unit test key!");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->at("dev"), results["dev"]);
+  EXPECT_EQ(loaded->at("sims"), results["sims"]);
+  EXPECT_FALSE(cache.load("missing key").has_value());
+}
+
+}  // namespace
+}  // namespace moheco

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "src/linalg/lsq.hpp"
+#include "src/linalg/lu.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::linalg {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  MatrixD m = MatrixD::identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, MatvecMatchesManual) {
+  MatrixD a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  VectorD x = {1.0, -1.0, 2.0};
+  VectorD y = matvec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 11.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  MatrixD a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  VectorD b = {5.0, 10.0};
+  VectorD x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  MatrixD a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  VectorD x = lu_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ReportsSingular) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  LuSolver<double> solver;
+  EXPECT_FALSE(solver.factor(a));
+}
+
+TEST(Lu, ComplexSystem) {
+  using C = std::complex<double>;
+  MatrixC a(2, 2);
+  a(0, 0) = C(1, 1); a(0, 1) = C(0, -1);
+  a(1, 0) = C(2, 0); a(1, 1) = C(3, 1);
+  VectorC x_true = {C(1, -2), C(0.5, 0.5)};
+  VectorC b = matvec(a, x_true);
+  VectorC x = lu_solve(a, b);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-12);
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, ResidualIsSmall) {
+  const int n = GetParam();
+  stats::Rng rng(42 + static_cast<std::uint64_t>(n));
+  MatrixD a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.normal();
+    a(r, r) += static_cast<double>(n);  // diagonally dominant-ish
+  }
+  VectorD x_true(n);
+  for (auto& v : x_true) v = rng.normal();
+  VectorD b = matvec(a, x_true);
+  VectorD x = lu_solve(a, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Lsq, RecoversLinearModel) {
+  stats::Rng rng(7);
+  const int rows = 50, cols = 3;
+  MatrixD a(rows, cols);
+  VectorD w_true = {1.5, -2.0, 0.5};
+  VectorD b(rows);
+  for (int r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      a(r, c) = rng.normal();
+      acc += a(r, c) * w_true[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = acc;
+  }
+  VectorD w = ridge_least_squares(a, b, 1e-10);
+  for (int c = 0; c < cols; ++c) {
+    EXPECT_NEAR(w[static_cast<std::size_t>(c)],
+                w_true[static_cast<std::size_t>(c)], 1e-6);
+  }
+}
+
+TEST(Lsq, RidgeShrinksUnderdetermined) {
+  // More columns than rows: plain normal equations would be singular.
+  MatrixD a(2, 4);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 0; a(0, 3) = 1;
+  a(1, 0) = 0; a(1, 1) = 1; a(1, 2) = 1; a(1, 3) = 2;
+  VectorD w = ridge_least_squares(a, {1.0, 2.0}, 1e-3);
+  ASSERT_EQ(w.size(), 4u);
+  // Residual should be small and weights finite.
+  VectorD pred = matvec(a, w);
+  EXPECT_NEAR(pred[0], 1.0, 1e-2);
+  EXPECT_NEAR(pred[1], 2.0, 1e-2);
+}
+
+TEST(Lsq, RejectsNegativeRidge) {
+  MatrixD a(1, 1);
+  a(0, 0) = 1.0;
+  EXPECT_THROW(ridge_least_squares(a, {1.0}, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace moheco::linalg

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rsm/neural_model.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::rsm {
+namespace {
+
+TEST(NeuralModel, FitsLinearFunction) {
+  stats::Rng rng(1);
+  const std::size_t n = 120, d = 3;
+  linalg::MatrixD x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = 0.3 * x(i, 0) - 0.5 * x(i, 1) + 0.1 * x(i, 2) + 0.4;
+  }
+  MlpOptions options;
+  options.hidden = 6;
+  options.seed = 3;
+  NeuralYieldModel model(d, options);
+  const double rms = model.fit(x, y);
+  EXPECT_LT(rms, 1e-3);
+  EXPECT_LT(model.rms_error(x, y), 1e-3);
+}
+
+TEST(NeuralModel, FitsNonlinearYieldSurface) {
+  stats::Rng rng(5);
+  const std::size_t n = 300, d = 2;
+  linalg::MatrixD x(n, d);
+  std::vector<double> y(n);
+  auto target = [](double a, double b) {
+    // Smooth yield-like bump in [0, 1].
+    return 1.0 / (1.0 + std::exp(4.0 * (a * a + b * b - 1.0)));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.5, 1.5);
+    x(i, 1) = rng.uniform(-1.5, 1.5);
+    y[i] = target(x(i, 0), x(i, 1));
+  }
+  MlpOptions options;
+  options.hidden = 20;  // paper's setting
+  options.max_epochs = 300;
+  options.seed = 11;
+  NeuralYieldModel model(d, options);
+  const double rms = model.fit(x, y);
+  EXPECT_LT(rms, 0.03);
+  // Interpolation inside the box must be sensible.
+  EXPECT_NEAR(model.predict(std::vector<double>{0.0, 0.0}),
+              target(0.0, 0.0), 0.08);
+}
+
+TEST(NeuralModel, ExtrapolationIsWorseThanInterpolation) {
+  // The Section 3.4 phenomenon in miniature: a model trained on early
+  // optimizer iterations (one region) predicts later iterations (another
+  // region) poorly.
+  stats::Rng rng(9);
+  const std::size_t n = 200, d = 2;
+  linalg::MatrixD x_train(n, d), x_test(n, d);
+  std::vector<double> y_train(n), y_test(n);
+  auto target = [](double a, double b) {
+    return std::sin(3.0 * a) * std::cos(2.0 * b);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    x_train(i, 0) = rng.uniform(-1.0, 0.0);
+    x_train(i, 1) = rng.uniform(-1.0, 0.0);
+    y_train[i] = target(x_train(i, 0), x_train(i, 1));
+    x_test(i, 0) = rng.uniform(0.5, 1.0);
+    x_test(i, 1) = rng.uniform(0.5, 1.0);
+    y_test[i] = target(x_test(i, 0), x_test(i, 1));
+  }
+  MlpOptions options;
+  options.hidden = 12;
+  options.seed = 2;
+  NeuralYieldModel model(d, options);
+  const double train_rms = model.fit(x_train, y_train);
+  const double test_rms = model.rms_error(x_test, y_test);
+  EXPECT_GT(test_rms, 3.0 * train_rms);
+}
+
+TEST(NeuralModel, ParameterCountMatchesArchitecture) {
+  MlpOptions options;
+  options.hidden = 20;
+  NeuralYieldModel model(11, options);
+  // (d+1)*h + h + 1 = 11*20 + 20 + 20 + 1.
+  EXPECT_EQ(model.num_parameters(), 11u * 20 + 20 + 20 + 1);
+}
+
+TEST(NeuralModel, PredictBeforeFitThrows) {
+  NeuralYieldModel model(3);
+  EXPECT_THROW(model.predict(std::vector<double>{0.0, 0.0, 0.0}),
+               moheco::InvalidArgument);
+}
+
+TEST(NeuralModel, RejectsDimensionMismatch) {
+  stats::Rng rng(1);
+  linalg::MatrixD x(10, 2);
+  std::vector<double> y(10, 0.5);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+  }
+  NeuralYieldModel model(2);
+  model.fit(x, y);
+  EXPECT_THROW(model.predict(std::vector<double>{0.1}),
+               moheco::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace moheco::rsm

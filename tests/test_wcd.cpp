@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/circuits/circuit_yield.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/wcd/pswcd.hpp"
+
+namespace moheco::wcd {
+namespace {
+
+std::vector<double> ota_x0() {
+  return {60e-6, 40e-6, 20e-6, 0.7e-6, 0.85};
+}
+
+TEST(Pswcd, WorstCaseIsMorePessimisticThanNominal) {
+  circuits::CircuitYieldProblem problem(
+      circuits::make_five_transistor_ota());
+  PswcdOptions options;
+  options.threads = 4;
+  options.k_sigma = 3.0;
+  PswcdOptimizer pswcd(problem, options);
+  const WorstCaseReport report = pswcd.analyze(ota_x0());
+  EXPECT_TRUE(report.nominal_feasible);
+  // Worst-case violation can only add pessimism on top of nominal.
+  EXPECT_GE(report.worst_violation, 0.0);
+}
+
+TEST(Pswcd, RejectsHighYieldDesign) {
+  // The over-design phenomenon: a design whose MC yield is high can still
+  // be rejected by spec-wise worst-case analysis at large k_sigma, because
+  // the per-spec worst cases cannot happen simultaneously.
+  circuits::CircuitYieldProblem problem(
+      circuits::make_five_transistor_ota());
+  ThreadPool pool(4);
+  const std::vector<double> x = ota_x0();
+  const double yield = mc::reference_yield(problem, x, 2000, 7, pool);
+  PswcdOptions options;
+  options.threads = 4;
+  options.k_sigma = 6.0;  // deliberately harsh
+  PswcdOptimizer pswcd(problem, options);
+  const WorstCaseReport report = pswcd.analyze(x);
+  // x0 is a mid-quality design (yield well above half)...
+  EXPECT_GT(yield, 0.5);
+  // ...yet spec-wise worst-case analysis rejects it outright.
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Pswcd, AnalyzeCountsSimulations) {
+  circuits::CircuitYieldProblem problem(
+      circuits::make_five_transistor_ota());
+  PswcdOptions options;
+  options.threads = 2;
+  options.pilot_samples = 16;
+  PswcdOptimizer pswcd(problem, options);
+  pswcd.analyze(ota_x0());
+  const auto num_specs =
+      static_cast<long long>(problem.topology().specs().size());
+  // 1 nominal + pilots + one verification per spec.
+  EXPECT_EQ(pswcd.simulations(), 1 + 16 + num_specs);
+}
+
+TEST(Pswcd, ShortRunFindsWorstCaseFeasibleDesign) {
+  circuits::CircuitYieldProblem problem(
+      circuits::make_five_transistor_ota());
+  PswcdOptions options;
+  options.threads = 4;
+  options.population = 10;
+  options.max_generations = 12;
+  options.pilot_samples = 12;
+  options.k_sigma = 2.5;
+  options.seed = 3;
+  PswcdOptimizer pswcd(problem, options);
+  const PswcdResult result = pswcd.run();
+  EXPECT_EQ(result.generations, 12);
+  EXPECT_GT(result.total_simulations, 0);
+  ASSERT_EQ(result.best_x.size(), problem.num_design_vars());
+  if (result.best_report.feasible) {
+    // A worst-case feasible design must at least be nominally feasible.
+    EXPECT_TRUE(result.best_report.nominal_feasible);
+    // And its true yield must be very high (the method's guarantee).
+    ThreadPool pool(4);
+    const double yield =
+        mc::reference_yield(problem, result.best_x, 2000, 11, pool);
+    // The pilot-sample linear model makes the guarantee approximate on a
+    // 40-variable process space, but the yield must still be high.
+    EXPECT_GT(yield, 0.85);
+  }
+}
+
+}  // namespace
+}  // namespace moheco::wcd
