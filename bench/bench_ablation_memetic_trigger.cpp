@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options = bench::bench_prologue(
       argc, argv, "Ablation: memetic local-search trigger interval");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
   ThreadPool pool(options.threads);
 
   Table table({"trigger (stagnant gens)", "avg reference yield", "avg sims",

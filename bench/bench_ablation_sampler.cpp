@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options = bench::bench_prologue(
       argc, argv, "Ablation: LHS vs PMC yield-estimator variance");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
   ThreadPool pool(options.threads);
   // Find a genuinely marginal design (partial yield) by sweeping the bias
   // current of the known-good sizing downwards; the estimator variance is

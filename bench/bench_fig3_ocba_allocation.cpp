@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options = bench::bench_prologue(
       argc, argv, "Fig. 3: OCBA budget allocation in one typical population");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
 
   // Run a few generations so the population contains a spread of yields,
   // then inspect the last generation's estimation bookkeeping.

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options = bench::bench_prologue(
       argc, argv, "Section 3.4: PSWCD over-design on example 1");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
   ThreadPool pool(options.threads);
 
   // MOHECO reference design.

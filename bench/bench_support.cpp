@@ -51,6 +51,12 @@ core::MohecoOptions base_options(const BenchOptions& bench) {
   return options;
 }
 
+circuits::EvalOptions eval_options(const BenchOptions& bench) {
+  circuits::EvalOptions options;
+  options.transient = bench.transient;
+  return options;
+}
+
 StudyData run_example_study(const std::string& study_key,
                             const mc::YieldProblem& problem,
                             const std::vector<MethodSpec>& methods,

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/circuits/evaluator.hpp"
 #include "src/common/options.hpp"
 #include "src/common/results_cache.hpp"
 #include "src/common/table.hpp"
@@ -37,6 +38,11 @@ std::vector<MethodSpec> example2_methods();
 /// Base optimizer options at a given bench scale (population 50 at full
 /// scale as in the paper, smaller otherwise).
 core::MohecoOptions base_options(const BenchOptions& bench);
+
+/// Circuit-evaluation options implied by the bench flags: --transient turns
+/// on the step-bench transient per sample, which also registers the
+/// topology's slew-rate / settling-time specs in the yield criterion.
+circuits::EvalOptions eval_options(const BenchOptions& bench);
 
 struct StudyData {
   /// method name -> per-run |reported - reference| yield deviations.

@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options =
       bench::bench_prologue(argc, argv, "Table 1: example 1 yield deviation");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
   const auto methods = bench::example1_methods();
   const bench::StudyData data =
       bench::run_example_study("ex1", problem, methods, options);

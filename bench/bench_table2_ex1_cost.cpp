@@ -8,7 +8,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options =
       bench::bench_prologue(argc, argv, "Table 2: example 1 simulation cost");
-  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode());
+  circuits::CircuitYieldProblem problem(circuits::make_folded_cascode(),
+                                        bench::eval_options(options));
   const auto methods = bench::example1_methods();
   const bench::StudyData data =
       bench::run_example_study("ex1", problem, methods, options);

@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options =
       bench::bench_prologue(argc, argv, "Table 3: example 2 yield deviation");
-  circuits::CircuitYieldProblem problem(
-      circuits::make_two_stage_telescopic());
+  circuits::CircuitYieldProblem problem(circuits::make_two_stage_telescopic(),
+                                        bench::eval_options(options));
   const auto methods = bench::example2_methods();
   const bench::StudyData data =
       bench::run_example_study("ex2", problem, methods, options);

@@ -8,8 +8,8 @@ int main(int argc, char** argv) {
   using namespace moheco;
   const BenchOptions options =
       bench::bench_prologue(argc, argv, "Table 4: example 2 simulation cost");
-  circuits::CircuitYieldProblem problem(
-      circuits::make_two_stage_telescopic());
+  circuits::CircuitYieldProblem problem(circuits::make_two_stage_telescopic(),
+                                        bench::eval_options(options));
   const auto methods = bench::example2_methods();
   const bench::StudyData data =
       bench::run_example_study("ex2", problem, methods, options);

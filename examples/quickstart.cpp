@@ -50,6 +50,19 @@ int main() {
     std::printf("  %-8s = %.4g\n", vars[i].name.c_str(), result.best.x[i]);
   }
 
+  // Full nominal readout at the optimum, including the large-signal
+  // step-response metrics from the unity-gain buffer transient testbench.
+  circuits::EvalOptions eval_options;
+  eval_options.transient = true;
+  circuits::AmplifierEvaluator evaluator(topology, eval_options);
+  const circuits::Performance perf =
+      evaluator.session(result.best.x)->nominal();
+  std::printf("nominal metrics at the optimum:\n");
+  std::printf("  A0 = %.1f dB, GBW = %.1f MHz, PM = %.1f deg, power = %.3f mW\n",
+              perf.a0_db, perf.gbw / 1e6, perf.pm_deg, perf.power * 1e3);
+  std::printf("  slew rate = %.1f V/us, settling time (1%% band) = %.0f ns\n",
+              perf.slew_rate / 1e6, perf.settling_time * 1e9);
+
   // Verify against a larger independent MC run.
   ThreadPool pool;
   const double reference =

@@ -25,8 +25,16 @@ class CircuitSession final : public mc::YieldProblem::Session {
 }  // namespace
 
 CircuitYieldProblem::CircuitYieldProblem(
-    std::shared_ptr<const Topology> topology)
-    : evaluator_(std::move(topology)) {}
+    std::shared_ptr<const Topology> topology, EvalOptions options)
+    : evaluator_(std::move(topology), options) {
+  specs_ = evaluator_.topology().specs();
+  if (options.transient) {
+    // Transient measurement on: the step-bench specs (slew rate, settling
+    // time) join the pass/fail criterion of every sample.
+    const auto& tran_specs = evaluator_.topology().transient_specs();
+    specs_.insert(specs_.end(), tran_specs.begin(), tran_specs.end());
+  }
+}
 
 std::size_t CircuitYieldProblem::num_design_vars() const {
   return evaluator_.topology().design_vars().size();
@@ -46,8 +54,7 @@ std::size_t CircuitYieldProblem::noise_dim() const {
 
 std::unique_ptr<mc::YieldProblem::Session> CircuitYieldProblem::open(
     std::span<const double> x) const {
-  return std::make_unique<CircuitSession>(evaluator_, x,
-                                          evaluator_.topology().specs());
+  return std::make_unique<CircuitSession>(evaluator_, x, specs_);
 }
 
 }  // namespace moheco::circuits

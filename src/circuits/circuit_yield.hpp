@@ -13,7 +13,10 @@ namespace moheco::circuits {
 
 class CircuitYieldProblem final : public mc::YieldProblem {
  public:
-  explicit CircuitYieldProblem(std::shared_ptr<const Topology> topology);
+  /// With options.transient set, samples also run the step-buffer transient
+  /// and the topology's transient_specs() join the pass criterion.
+  explicit CircuitYieldProblem(std::shared_ptr<const Topology> topology,
+                               EvalOptions options = {});
 
   std::size_t num_design_vars() const override;
   double lower_bound(std::size_t i) const override;
@@ -23,6 +26,9 @@ class CircuitYieldProblem final : public mc::YieldProblem {
 
   const Topology& topology() const { return evaluator_.topology(); }
   const AmplifierEvaluator& evaluator() const { return evaluator_; }
+  /// The enforced spec set (topology specs, plus transient specs when
+  /// transient evaluation is enabled).
+  const std::vector<Spec>& specs() const { return specs_; }
 
   /// Full performance readout at (x, xi) -- used by diagnostics and the
   /// PSWCD baseline, which needs individual metrics rather than pass/fail.
@@ -33,6 +39,7 @@ class CircuitYieldProblem final : public mc::YieldProblem {
 
  private:
   AmplifierEvaluator evaluator_;
+  std::vector<Spec> specs_;
 };
 
 }  // namespace moheco::circuits

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 
+#include "src/circuits/step_metrics.hpp"
 #include "src/circuits/testbench.hpp"
 #include "src/common/error.hpp"
 
@@ -13,9 +14,11 @@ constexpr double kMaxFrequency = 1e14;  // Hz; beyond this "no crossing"
 
 }  // namespace
 
-AmplifierEvaluator::AmplifierEvaluator(std::shared_ptr<const Topology> topology)
+AmplifierEvaluator::AmplifierEvaluator(std::shared_ptr<const Topology> topology,
+                                       EvalOptions options)
     : topology_(std::move(topology)),
-      process_(topology_->tech(), topology_->num_transistors()) {}
+      process_(topology_->tech(), topology_->num_transistors()),
+      options_(options) {}
 
 std::unique_ptr<AmplifierEvaluator::Session> AmplifierEvaluator::session(
     std::span<const double> x) const {
@@ -39,6 +42,17 @@ AmplifierEvaluator::Session::Session(const AmplifierEvaluator& parent,
     base_cards_.push_back(m.model);
   }
   dc_ = std::make_unique<spice::DcSolver>(circuit_.netlist);
+  if (parent.options().transient) {
+    step_circuit_ = std::make_unique<BuiltCircuit>(
+        parent.topology().build(x, Testbench::kStepBuffer));
+    require(step_circuit_->netlist.mosfets().size() ==
+                circuit_.netlist.mosfets().size(),
+            "Session: step testbench transistor count mismatch");
+    require(step_circuit_->step.source >= 0,
+            "Session: step testbench has no stimulus");
+    step_dc_ = std::make_unique<spice::DcSolver>(step_circuit_->netlist);
+    tran_ = std::make_unique<spice::TranSolver>(step_circuit_->netlist);
+  }
   nominal_perf_ = measure(/*is_nominal=*/true);
 }
 
@@ -53,6 +67,11 @@ void AmplifierEvaluator::Session::apply_process(std::span<const double> xi) {
           base_cards_[i],
           process.device_deltas(xi, static_cast<int>(i), m.is_pmos, m.w, m.l));
     }
+    if (step_circuit_) {
+      // Same canonical transistor order in both testbenches: the perturbed
+      // card applies verbatim, keeping both MNA layouts valid.
+      step_circuit_->netlist.mosfet(static_cast<int>(i)).model = m.model;
+    }
   }
 }
 
@@ -63,6 +82,15 @@ Performance AmplifierEvaluator::Session::evaluate(std::span<const double> xi) {
 }
 
 Performance AmplifierEvaluator::Session::measure(bool is_nominal) {
+  Performance perf = measure_small_signal(is_nominal);
+  // The step-buffer transient only runs on samples whose small-signal
+  // evaluation converged; a sample that cannot even bias is already a fail.
+  if (perf.valid && tran_) measure_transient(is_nominal, &perf);
+  return perf;
+}
+
+Performance AmplifierEvaluator::Session::measure_small_signal(
+    bool is_nominal) {
   Performance perf;
   perf.area = circuit_.gate_area;
 
@@ -180,6 +208,44 @@ Performance AmplifierEvaluator::Session::measure(bool is_nominal) {
   perf.pm_deg = 180.0 + phase_rel * 180.0 / M_PI;
   perf.valid = true;
   return perf;
+}
+
+void AmplifierEvaluator::Session::measure_transient(bool is_nominal,
+                                                    Performance* perf) {
+  const BuiltCircuit& bc = *step_circuit_;
+
+  // Operating point of the buffer (input held at the pulse's t=0 level),
+  // warm-started from the nominal buffer solution across process samples.
+  spice::DcOptions dc_options = parent_->options_.tran.dc;
+  std::vector<double> x;
+  if (have_step_nominal_) x = step_nominal_solution_;
+  if (step_dc_->solve(dc_options, &x) != spice::SolveStatus::kOk) {
+    return;  // slew/settling keep their spec-failing defaults
+  }
+  if (is_nominal) {
+    step_nominal_solution_ = x;
+    have_step_nominal_ = true;
+  }
+
+  spice::TranOptions tran_options = parent_->options_.tran;
+  tran_options.t_stop = bc.step.t_stop;
+  if (tran_->run(tran_options, &x) != spice::SolveStatus::kOk) return;
+
+  const std::size_t points = tran_->num_points();
+  std::vector<double> vout(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    vout[k] = tran_->differential(k, bc.outp, bc.outn);
+  }
+  const StepMetrics metrics = measure_step_response(
+      tran_->time(), vout, bc.step.t_delay, bc.step.settle_frac);
+  // Copy what was measured even when the response did not settle: the
+  // settling spec still fails (settling_time = full horizon), but
+  // per-metric consumers (PSWCD margins, bench readouts) see the real
+  // slew rate instead of the spec-failing default.
+  perf->slew_rate = metrics.slew_rate;
+  if (metrics.valid || metrics.settling_time > 0.0) {
+    perf->settling_time = metrics.settling_time;
+  }
 }
 
 }  // namespace moheco::circuits

@@ -18,15 +18,30 @@
 #include "src/circuits/topology.hpp"
 #include "src/spice/ac_solver.hpp"
 #include "src/spice/dc_solver.hpp"
+#include "src/spice/tran_solver.hpp"
 
 namespace moheco::circuits {
 
+/// Evaluation controls shared by every Session of one evaluator.
+struct EvalOptions {
+  /// Also build the step-buffer testbench and run a transient per
+  /// evaluation, filling Performance::slew_rate / settling_time.  Off by
+  /// default: a transient costs ~100x a DC+AC evaluation, so yield flows
+  /// opt in explicitly.
+  bool transient = false;
+  /// Transient solver controls; t_stop is overridden per topology by its
+  /// StepStimulus horizon.
+  spice::TranOptions tran;
+};
+
 class AmplifierEvaluator {
  public:
-  explicit AmplifierEvaluator(std::shared_ptr<const Topology> topology);
+  explicit AmplifierEvaluator(std::shared_ptr<const Topology> topology,
+                              EvalOptions options = {});
 
   const Topology& topology() const { return *topology_; }
   const ProcessModel& process() const { return process_; }
+  const EvalOptions& options() const { return options_; }
 
   class Session {
    public:
@@ -41,6 +56,8 @@ class AmplifierEvaluator {
 
    private:
     Performance measure(bool is_nominal);
+    Performance measure_small_signal(bool is_nominal);
+    void measure_transient(bool is_nominal, Performance* perf);
     void apply_process(std::span<const double> xi);
 
     const AmplifierEvaluator* parent_;
@@ -51,6 +68,15 @@ class AmplifierEvaluator {
     bool have_nominal_solution_ = false;
     Performance nominal_perf_;
     double last_crossing_ = 0.0;  ///< GBW of previous sample (search seed)
+
+    /// Step-buffer twin of circuit_ (same transistor order, its own MNA
+    /// layout), present when options().transient is set.  Process samples
+    /// perturb both netlists' model cards in place.
+    std::unique_ptr<BuiltCircuit> step_circuit_;
+    std::unique_ptr<spice::DcSolver> step_dc_;
+    std::unique_ptr<spice::TranSolver> tran_;
+    std::vector<double> step_nominal_solution_;
+    bool have_step_nominal_ = false;
   };
 
   std::unique_ptr<Session> session(std::span<const double> x) const;
@@ -62,6 +88,7 @@ class AmplifierEvaluator {
  private:
   std::shared_ptr<const Topology> topology_;
   ProcessModel process_;
+  EvalOptions options_;
 };
 
 }  // namespace moheco::circuits

@@ -13,6 +13,12 @@ namespace {
 
 constexpr double kCload = 2.0e-12;
 constexpr double kVcm = 1.8;
+// Step-buffer stimulus: a 0.2 V step after the buffer settles from power-up;
+// the 3 us horizon covers > 10 closed-loop time constants at the GBW spec.
+constexpr double kStepAmplitude = 0.2;
+constexpr double kStepDelay = 2.0e-7;
+constexpr double kStepRise = 1.0e-9;
+constexpr double kStepHorizon = 3.0e-6;
 
 class FiveTransistorOta final : public Topology {
  public:
@@ -27,36 +33,42 @@ class FiveTransistorOta final : public Topology {
                lower_spec(Metric::kPmDeg, 60.0, 5.0, "PM>=60deg"),
                lower_spec(Metric::kSwing, 4.0, 0.2, "OS>=4.0V"),
                upper_spec(Metric::kPower, 1e-3, 1e-4, "power<=1mW"),
-               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")},
+        tran_specs_{
+            lower_spec(Metric::kSlewRate, 20e6, 5e6, "SR>=20V/us"),
+            upper_spec(Metric::kSettlingTime, 0.5e-6, 5e-8,
+                       "Tsettle<=0.5us")} {}
 
   std::string name() const override { return "five_t_ota_035"; }
   const Technology& tech() const override { return tech035(); }
   int num_transistors() const override { return 5; }
   const std::vector<DesignVar>& design_vars() const override { return vars_; }
   const std::vector<Spec>& specs() const override { return specs_; }
+  const std::vector<Spec>& transient_specs() const override {
+    return tran_specs_;
+  }
 
-  BuiltCircuit build(std::span<const double> x) const override {
+  BuiltCircuit build(std::span<const double> x,
+                     Testbench testbench) const override {
     require(x.size() == vars_.size(), "five_t_ota: bad design vector");
     const double w_in = x[0], w_load = x[1], w_tail = x[2], l = x[3],
                  vbias = x[4];
     const Technology& t = tech();
+    const bool step_bench = testbench == Testbench::kStepBuffer;
 
     BuiltCircuit bc;
     bc.vdd = t.vdd;
     spice::Netlist& n = bc.netlist;
     const spice::NodeId gnd = 0;
     const spice::NodeId vdd = n.node("vdd");
-    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    const spice::NodeId out = n.node("out");
+    // Step bench: unity-gain buffer, the output IS the inverting input.
+    const spice::NodeId inp = n.node("inp");
+    const spice::NodeId inn = step_bench ? out : n.node("inn");
     const spice::NodeId tail = n.node("tail"), xm = n.node("xmirror");
-    const spice::NodeId out = n.node("out"), vref = n.node("vref");
 
     bc.vdd_source = n.add_vsource("Vdd", vdd, gnd, t.vdd);
     n.add_vsource("Vbias", n.node("vbias"), gnd, vbias);
-    // Single-ended drive: inp carries both the DC common mode and the AC
-    // stimulus; inn is servo-biased from the (inverting) output.
-    n.add_vsource("Vin", inp, gnd, kVcm, 1.0);
-    // DC reference for the offset measurement (AC ground).
-    n.add_vsource("Vref", vref, gnd, kVcm);
 
     const spice::MosModel& nm = t.nmos;
     const spice::MosModel& pm = t.pmos;
@@ -66,12 +78,25 @@ class FiveTransistorOta final : public Topology {
     n.add_mosfet("M4", out, xm, vdd, vdd, true, w_load, l, pm);
     n.add_mosfet("M5", tail, n.node("vbias"), gnd, gnd, false, w_tail, l, nm);
 
-    n.add_inductor("Lservo", out, inn, kServoInductance);
-    n.add_capacitor("Cacgnd", inn, gnd, kCouplingCapacitance);
-    n.add_capacitor("CL", out, gnd, kCload);
-
-    bc.outp = out;
-    bc.outn = vref;
+    if (step_bench) {
+      bc.step = attach_step_testbench(n, inp, kVcm, kStepAmplitude, kStepDelay,
+                                      kStepRise, kStepHorizon, out, gnd,
+                                      kCload);
+      bc.outp = out;
+      bc.outn = gnd;
+    } else {
+      // Single-ended drive: inp carries both the DC common mode and the AC
+      // stimulus; inn is servo-biased from the (inverting) output.
+      n.add_vsource("Vin", inp, gnd, kVcm, 1.0);
+      // DC reference for the offset measurement (AC ground).
+      const spice::NodeId vref = n.node("vref");
+      n.add_vsource("Vref", vref, gnd, kVcm);
+      n.add_inductor("Lservo", out, inn, kServoInductance);
+      n.add_capacitor("Cacgnd", inn, gnd, kCouplingCapacitance);
+      n.add_capacitor("CL", out, gnd, kCload);
+      bc.outp = out;
+      bc.outn = vref;
+    }
     bc.swing_top = {3};     // M4
     bc.swing_bottom = {1, 4};  // M2, M5
     for (const auto& m : n.mosfets()) bc.gate_area += m.w * m.l;
@@ -81,6 +106,7 @@ class FiveTransistorOta final : public Topology {
  private:
   std::vector<DesignVar> vars_;
   std::vector<Spec> specs_;
+  std::vector<Spec> tran_specs_;
 };
 
 }  // namespace

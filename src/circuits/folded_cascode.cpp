@@ -30,6 +30,12 @@ constexpr double kWDiode = 2.0e-5;
 constexpr double kWPDiode = 4.0e-5;
 constexpr double kCmfbGain = 10.0;
 constexpr double kVcmRef = 1.65;
+// Step-buffer stimulus (differential closed-loop gain ~2, so the output
+// step is ~2x this amplitude).
+constexpr double kStepAmplitude = 0.2;
+constexpr double kStepDelay = 1.0e-7;
+constexpr double kStepRise = 1.0e-9;
+constexpr double kStepHorizon = 1.0e-6;
 
 class FoldedCascode final : public Topology {
  public:
@@ -45,27 +51,40 @@ class FoldedCascode final : public Topology {
                lower_spec(Metric::kPmDeg, 60.0, 5.0, "PM>=60deg"),
                lower_spec(Metric::kSwing, 4.6, 0.2, "OS>=4.6V"),
                upper_spec(Metric::kPower, 1.07e-3, 1e-4, "power<=1.07mW"),
-               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")},
+        tran_specs_{
+            lower_spec(Metric::kSlewRate, 10e6, 2e6, "SR>=10V/us"),
+            upper_spec(Metric::kSettlingTime, 0.3e-6, 3e-8,
+                       "Tsettle<=0.3us")} {}
 
   std::string name() const override { return "folded_cascode_035"; }
   const Technology& tech() const override { return tech035(); }
   int num_transistors() const override { return 15; }
   const std::vector<DesignVar>& design_vars() const override { return vars_; }
   const std::vector<Spec>& specs() const override { return specs_; }
+  const std::vector<Spec>& transient_specs() const override {
+    return tran_specs_;
+  }
 
-  BuiltCircuit build(std::span<const double> x) const override {
+  BuiltCircuit build(std::span<const double> x,
+                     Testbench testbench) const override {
     require(x.size() == vars_.size(), "folded_cascode: bad design vector");
     const double w_in = x[0], w_psrc = x[1], w_pcasc = x[2], w_ncasc = x[3],
                  w_nsink = x[4], l_in = x[5], l_casc = x[6], l_src = x[7],
                  ibias = x[8], k_tail = x[9], vcascp = x[10];
     const Technology& t = tech();
+    const bool step_bench = testbench == Testbench::kStepBuffer;
 
     BuiltCircuit bc;
     bc.vdd = t.vdd;
     spice::Netlist& n = bc.netlist;
     const spice::NodeId gnd = 0;
     const spice::NodeId vdd = n.node("vdd");
-    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    // Step bench: out2 inverts inn, so tying inn to out2 closes a negative
+    // unity-feedback loop; the pulse drives inp.
+    const spice::NodeId inp = n.node("inp");
+    const spice::NodeId inn =
+        step_bench ? n.node("out2") : n.node("inn");
     const spice::NodeId tail = n.node("tail");
     const spice::NodeId f1 = n.node("f1"), f2 = n.node("f2");
     const spice::NodeId out1 = n.node("out1");  // inverting w.r.t. inp
@@ -101,11 +120,17 @@ class FoldedCascode final : public Topology {
     n.add_mosfet("M14", vbp, vbn, gnd, gnd, false, kWDiode, l_src, nm);
     n.add_mosfet("M15", vbnc, vbnc, vbn, gnd, false, kWDiode, l_casc, nm);
 
-    // out1 inverts inp, so each input takes its own side's output as servo
-    // feedback; outp is the side in phase with inp.
-    attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/out1,
-                          /*fb_for_inn=*/out2, /*outp=*/out2, /*outn=*/out1,
-                          kCload);
+    if (step_bench) {
+      bc.step = attach_step_testbench(n, inp, kVcmRef, kStepAmplitude,
+                                      kStepDelay, kStepRise, kStepHorizon,
+                                      out2, out1, kCload);
+    } else {
+      // out1 inverts inp, so each input takes its own side's output as servo
+      // feedback; outp is the side in phase with inp.
+      attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/out1,
+                            /*fb_for_inn=*/out2, /*outp=*/out2, /*outn=*/out1,
+                            kCload);
+    }
     bc.outp = out2;
     bc.outn = out1;
     bc.swing_top = {2, 4};    // M3, M5
@@ -117,6 +142,7 @@ class FoldedCascode final : public Topology {
  private:
   std::vector<DesignVar> vars_;
   std::vector<Spec> specs_;
+  std::vector<Spec> tran_specs_;
 };
 
 }  // namespace

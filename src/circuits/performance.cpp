@@ -16,6 +16,8 @@ double metric_value(const Performance& perf, Metric metric) {
     case Metric::kOffset: return std::fabs(perf.offset);
     case Metric::kArea: return perf.area;
     case Metric::kSatMargin: return perf.sat_margin;
+    case Metric::kSlewRate: return perf.slew_rate;
+    case Metric::kSettlingTime: return perf.settling_time;
   }
   throw InvalidArgument("metric_value: unknown metric");
 }
@@ -30,6 +32,8 @@ const char* metric_name(Metric metric) {
     case Metric::kOffset: return "offset";
     case Metric::kArea: return "area";
     case Metric::kSatMargin: return "saturation";
+    case Metric::kSlewRate: return "SR";
+    case Metric::kSettlingTime: return "Tsettle";
   }
   return "?";
 }

@@ -22,6 +22,11 @@ struct Performance {
   double offset = 1.0;       ///< input-referred offset magnitude proxy (V)
   double area = 0.0;         ///< total gate area (m^2)
   double sat_margin = -10.0; ///< min over devices of (|vds| - vdsat) (V)
+  /// Large-signal step-response metrics, measured on the unity-gain buffer
+  /// testbench when transient evaluation is enabled; the defaults fail both
+  /// spec directions when the transient did not run or did not settle.
+  double slew_rate = 0.0;       ///< max |dVout/dt| during the transition (V/s)
+  double settling_time = 1.0;   ///< time from step edge into the settle band (s)
 };
 
 enum class Metric {
@@ -33,6 +38,8 @@ enum class Metric {
   kOffset,
   kArea,
   kSatMargin,
+  kSlewRate,
+  kSettlingTime,
 };
 
 double metric_value(const Performance& perf, Metric metric);

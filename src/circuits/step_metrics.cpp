@@ -1,0 +1,91 @@
+#include "src/circuits/step_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moheco::circuits {
+
+StepMetrics measure_step_response(std::span<const double> time,
+                                  std::span<const double> v, double t_edge,
+                                  double settle_frac) {
+  StepMetrics m;
+  const std::size_t n = std::min(time.size(), v.size());
+  if (n < 4) return m;
+
+  // Initial value: last sample at or before the edge (the waveform is flat
+  // there -- the transient starts from the DC operating point).
+  std::size_t edge_index = 0;
+  for (std::size_t i = 0; i < n && time[i] <= t_edge; ++i) edge_index = i;
+  m.v_initial = v[edge_index];
+  m.v_final = v[n - 1];
+  const double step = m.v_final - m.v_initial;
+  m.settling_time = time[n - 1] - t_edge;
+  if (std::fabs(step) < 1e-9) return m;
+
+  // Slew rate: steepest slope between the 10% and 90% crossings, which
+  // excludes capacitive feedthrough spikes at the stimulus edge itself.
+  const double v10 = m.v_initial + 0.1 * step;
+  const double v90 = m.v_initial + 0.9 * step;
+  auto crossed = [&](std::size_t i, double level) {
+    return (v[i] - level) * (v[i + 1] - level) <= 0.0 && v[i] != v[i + 1];
+  };
+  std::size_t i10 = n, i90 = n;
+  for (std::size_t i = edge_index; i + 1 < n; ++i) {
+    if (i10 == n && crossed(i, v10)) i10 = i;
+    if (i10 != n && crossed(i, v90)) {
+      i90 = i + 1;
+      break;
+    }
+  }
+  if (i10 == n) return m;  // output never moved 10% of the step
+  if (i90 == n) i90 = n - 1;
+  for (std::size_t i = i10; i < i90; ++i) {
+    const double dt = time[i + 1] - time[i];
+    if (dt <= 0.0) continue;
+    m.slew_rate = std::max(m.slew_rate, std::fabs(v[i + 1] - v[i]) / dt);
+  }
+
+  // Overshoot: peak excursion beyond the final value, in units of the step.
+  for (std::size_t i = edge_index; i < n; ++i) {
+    const double past = (v[i] - m.v_final) * (step > 0.0 ? 1.0 : -1.0);
+    m.overshoot = std::max(m.overshoot, past / std::fabs(step));
+  }
+
+  // Settling: first time after which the output stays inside the band.
+  const double band = settle_frac * std::fabs(step);
+  std::size_t last_outside = 0;
+  bool settled = false;
+  for (std::size_t i = n; i-- > edge_index;) {
+    if (std::fabs(v[i] - m.v_final) > band) {
+      last_outside = i;
+      settled = i + 1 < n;
+      break;
+    }
+    settled = true;
+  }
+  if (!settled) return m;  // still outside the band at the horizon
+  if (std::fabs(v[last_outside] - m.v_final) > band) {
+    // Interpolate the band entry between last_outside and last_outside+1.
+    const double va = std::fabs(v[last_outside] - m.v_final);
+    const double vb = std::fabs(v[last_outside + 1] - m.v_final);
+    const double w = va > vb ? (va - band) / (va - vb) : 0.0;
+    const double t_settle =
+        time[last_outside] +
+        std::clamp(w, 0.0, 1.0) * (time[last_outside + 1] - time[last_outside]);
+    m.settling_time = std::max(t_settle - t_edge, 0.0);
+  } else {
+    m.settling_time = 0.0;  // never left the band after the edge
+  }
+  // v_final is the last sample, so any waveform trivially "enters the band"
+  // just before the horizon; a band entry inside the last 2% means the
+  // output was still moving -- report it as not settled.
+  const double horizon = time[n - 1] - t_edge;
+  if (horizon - m.settling_time < 0.02 * horizon) {
+    m.settling_time = horizon;
+    return m;
+  }
+  m.valid = true;
+  return m;
+}
+
+}  // namespace moheco::circuits

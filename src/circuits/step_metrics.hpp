@@ -1,0 +1,29 @@
+// Step-response waveform metrics: slew rate and settling time extracted
+// from a transient output waveform of the unity-gain buffer testbench.
+#pragma once
+
+#include <span>
+
+namespace moheco::circuits {
+
+struct StepMetrics {
+  bool valid = false;
+  double v_initial = 0.0;     ///< output before the step edge (V)
+  double v_final = 0.0;       ///< output at the end of the horizon (V)
+  double slew_rate = 0.0;     ///< max |dv/dt| inside the 10%-90% window (V/s)
+  double settling_time = 0.0; ///< from the edge until v stays in-band (s)
+  double overshoot = 0.0;     ///< peak excursion past v_final / |step|
+};
+
+/// Measures a step response sampled at (time[i], v[i]) (monotone time,
+/// typically from adaptive-step transient so non-uniform).  `t_edge` is the
+/// stimulus edge time; `settle_frac` the settling band as a fraction of the
+/// output step.  Returns valid=false when the waveform never leaves /
+/// re-enters the band (no measurable step or no settling inside the
+/// horizon); settling_time is then the full horizon so the default specs
+/// fail.
+StepMetrics measure_step_response(std::span<const double> time,
+                                  std::span<const double> v, double t_edge,
+                                  double settle_frac);
+
+}  // namespace moheco::circuits

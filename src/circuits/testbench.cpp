@@ -32,9 +32,37 @@ spice::NodeId attach_cmfb(spice::Netlist& netlist, spice::NodeId outp,
   netlist.add_vcvs(prefix + "_Eh2", sense, half, outn, gnd, 0.5);
   const spice::NodeId ref = netlist.node(prefix + "_ref");
   netlist.add_vsource(prefix + "_Vref", ref, gnd, vref);
+  // Copy the bias voltage through a unity VCVS before stacking the CM
+  // correction on it: the gate-charging current of the controlled devices
+  // then returns to ground through the ideal sources instead of disturbing
+  // the bias network (which would couple large-signal CM transients into
+  // the bias loop and ring it).
+  const spice::NodeId base_copy = netlist.node(prefix + "_base");
+  netlist.add_vcvs(prefix + "_Eb", base_copy, gnd, base_bias, gnd, 1.0);
   const spice::NodeId ctl = netlist.node(prefix + "_ctl");
-  netlist.add_vcvs(prefix + "_Ecm", ctl, base_bias, sense, ref, gain);
+  netlist.add_vcvs(prefix + "_Ecm", ctl, base_copy, sense, ref, gain);
   return ctl;
+}
+
+StepStimulus attach_step_testbench(spice::Netlist& netlist, spice::NodeId in,
+                                   double vcm, double v_step, double t_delay,
+                                   double t_rise, double t_stop,
+                                   spice::NodeId outp, spice::NodeId outn,
+                                   double cload) {
+  const spice::NodeId gnd = 0;
+  StepStimulus stimulus;
+  // One-shot pulse held high past the horizon (pw covers t_stop).
+  stimulus.source =
+      netlist.add_pulse_vsource("Vstep", in, gnd, vcm, vcm + v_step, t_delay,
+                                t_rise, t_rise, /*pw=*/2.0 * t_stop);
+  stimulus.v_step = v_step;
+  stimulus.t_delay = t_delay;
+  stimulus.t_stop = t_stop;
+  if (cload > 0.0) {
+    netlist.add_capacitor("CL_p", outp, gnd, cload);
+    if (outn != gnd) netlist.add_capacitor("CL_n", outn, gnd, cload);
+  }
+  return stimulus;
 }
 
 }  // namespace moheco::circuits

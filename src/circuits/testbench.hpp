@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "src/circuits/topology.hpp"
 #include "src/spice/netlist.hpp"
 
 namespace moheco::circuits {
@@ -42,5 +43,17 @@ void attach_diff_testbench(spice::Netlist& netlist, spice::NodeId inp,
 spice::NodeId attach_cmfb(spice::Netlist& netlist, spice::NodeId outp,
                           spice::NodeId outn, spice::NodeId base_bias,
                           double vref, double gain, const std::string& prefix);
+
+/// Attaches the unity-gain buffer step drive: a one-shot pulse source on
+/// `in` stepping from `vcm` to `vcm + v_step` at `t_delay` (rise time
+/// `t_rise`, held high past `t_stop`), plus load capacitors on the outputs.
+/// The caller closes the feedback loop itself by reusing the appropriate
+/// output node as the inverting input node.  Returns the stimulus record
+/// the evaluator's transient measurement needs.
+StepStimulus attach_step_testbench(spice::Netlist& netlist, spice::NodeId in,
+                                   double vcm, double v_step, double t_delay,
+                                   double t_rise, double t_stop,
+                                   spice::NodeId outp, spice::NodeId outn,
+                                   double cload);
 
 }  // namespace moheco::circuits

@@ -1,0 +1,10 @@
+#include "src/circuits/topology.hpp"
+
+namespace moheco::circuits {
+
+const std::vector<Spec>& Topology::transient_specs() const {
+  static const std::vector<Spec> kNone;
+  return kNone;
+}
+
+}  // namespace moheco::circuits

@@ -23,6 +23,25 @@ struct DesignVar {
   double hi = 1.0;
 };
 
+/// Which measurement testbench build() wraps around the core amplifier.
+enum class Testbench {
+  /// Servo-biased open-loop bench: DC operating point + AC sweep metrics
+  /// (gain, GBW, phase margin, offset, power, swing).
+  kAcOpenLoop,
+  /// Unity-gain buffer with a pulse on the + input: large-signal transient
+  /// metrics (slew rate, settling time).
+  kStepBuffer,
+};
+
+/// Step-stimulus metadata of the kStepBuffer testbench.
+struct StepStimulus {
+  int source = -1;       ///< index into netlist.vsources() of the pulse drive
+  double v_step = 0.0;   ///< input step amplitude (V)
+  double t_delay = 0.0;  ///< pulse delay (s); the output is settled before it
+  double t_stop = 0.0;   ///< simulation horizon (s)
+  double settle_frac = 0.01;  ///< settling band as a fraction of the step
+};
+
 /// A netlist plus the measurement hooks the evaluator needs.
 struct BuiltCircuit {
   spice::Netlist netlist;
@@ -35,6 +54,7 @@ struct BuiltCircuit {
   std::vector<int> swing_top;
   std::vector<int> swing_bottom;
   double gate_area = 0.0;  ///< sum of drawn W*L over all transistors (m^2)
+  StepStimulus step;       ///< set when built with Testbench::kStepBuffer
 };
 
 class Topology {
@@ -44,11 +64,22 @@ class Topology {
   virtual const Technology& tech() const = 0;
   virtual int num_transistors() const = 0;
   virtual const std::vector<DesignVar>& design_vars() const = 0;
-  /// Specifications of the associated yield-optimization benchmark.
+  /// Specifications of the associated yield-optimization benchmark
+  /// (measurable on the AC open-loop testbench alone).
   virtual const std::vector<Spec>& specs() const = 0;
-  /// Builds the sized circuit with nominal model cards.
-  /// `x` must have design_vars().size() entries inside their bounds.
-  virtual BuiltCircuit build(std::span<const double> x) const = 0;
+  /// Additional specs that require the step-buffer transient testbench
+  /// (slew rate, settling time).  Enforced only when the evaluator runs
+  /// with transient measurement enabled.
+  virtual const std::vector<Spec>& transient_specs() const;
+  /// Builds the sized circuit with nominal model cards and the requested
+  /// measurement testbench.  `x` must have design_vars().size() entries
+  /// inside their bounds.  The canonical transistor order is identical for
+  /// every testbench, so one process-model layout serves both.
+  virtual BuiltCircuit build(std::span<const double> x,
+                             Testbench testbench) const = 0;
+  BuiltCircuit build(std::span<const double> x) const {
+    return build(x, Testbench::kAcOpenLoop);
+  }
 };
 
 /// The paper's example 1: fully differential folded-cascode amplifier,

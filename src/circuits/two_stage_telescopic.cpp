@@ -32,6 +32,12 @@ constexpr double kLBias = 3.0e-7;
 constexpr double kCmfbGain = 10.0;
 constexpr double kVcmStage1 = 0.72;
 constexpr double kVcmOut = 0.60;
+// Step-buffer stimulus: small step (1.2 V supply), short horizon (GBW spec
+// is 300 MHz, so the closed-loop settles within tens of ns).
+constexpr double kStepAmplitude = 0.1;
+constexpr double kStepDelay = 2.0e-8;
+constexpr double kStepRise = 2.0e-10;
+constexpr double kStepHorizon = 2.0e-7;
 
 class TwoStageTelescopic final : public Topology {
  public:
@@ -50,28 +56,40 @@ class TwoStageTelescopic final : public Topology {
                upper_spec(Metric::kPower, 10e-3, 1e-3, "power<=10mW"),
                upper_spec(Metric::kArea, 1.8e-10, 2e-11, "area<=180um2"),
                upper_spec(Metric::kOffset, 5e-5, 1e-5, "offset<=0.05mV"),
-               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")} {}
+               lower_spec(Metric::kSatMargin, 0.0, 0.05, "saturation")},
+        tran_specs_{
+            lower_spec(Metric::kSlewRate, 50e6, 1e7, "SR>=50V/us"),
+            upper_spec(Metric::kSettlingTime, 1.0e-7, 1e-8,
+                       "Tsettle<=100ns")} {}
 
   std::string name() const override { return "two_stage_telescopic_90"; }
   const Technology& tech() const override { return tech90(); }
   int num_transistors() const override { return 19; }
   const std::vector<DesignVar>& design_vars() const override { return vars_; }
   const std::vector<Spec>& specs() const override { return specs_; }
+  const std::vector<Spec>& transient_specs() const override {
+    return tran_specs_;
+  }
 
-  BuiltCircuit build(std::span<const double> x) const override {
+  BuiltCircuit build(std::span<const double> x,
+                     Testbench testbench) const override {
     require(x.size() == vars_.size(), "two_stage_telescopic: bad design vec");
     const double w_in = x[0], w_ncasc = x[1], w_pcasc = x[2], w_psrc = x[3],
                  w_pcs = x[4], w_nsink = x[5], l_in = x[6], l_casc = x[7],
                  l2 = x[8], ibias = x[9], k_tail = x[10], cc = x[11],
                  rz = x[12];
     const Technology& t = tech();
+    const bool step_bench = testbench == Testbench::kStepBuffer;
 
     BuiltCircuit bc;
     bc.vdd = t.vdd;
     spice::Netlist& n = bc.netlist;
     const spice::NodeId gnd = 0;
     const spice::NodeId vdd = n.node("vdd");
-    const spice::NodeId inp = n.node("inp"), inn = n.node("inn");
+    // Step bench: outa inverts inn (two inversions from inp), so tying inn
+    // to outa closes the negative unity-feedback loop; the pulse drives inp.
+    const spice::NodeId inp = n.node("inp");
+    const spice::NodeId inn = step_bench ? n.node("outa") : n.node("inn");
     const spice::NodeId tail = n.node("tail");
     const spice::NodeId c1 = n.node("c1"), c2 = n.node("c2");
     const spice::NodeId x1 = n.node("x1"), x2 = n.node("x2");
@@ -123,11 +141,17 @@ class TwoStageTelescopic final : public Topology {
     n.add_capacitor("Cc_b", x2, mb, cc);
     n.add_resistor("Rz_b", mb, outb, rz);
 
-    // Two inversions per side: outa is in phase with inp, so the servo
-    // feedback for inp comes from the opposite output outb.
-    attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/outb,
-                          /*fb_for_inn=*/outa, /*outp=*/outa, /*outn=*/outb,
-                          kCload);
+    if (step_bench) {
+      bc.step = attach_step_testbench(n, inp, kVcmOut, kStepAmplitude,
+                                      kStepDelay, kStepRise, kStepHorizon,
+                                      outa, outb, kCload);
+    } else {
+      // Two inversions per side: outa is in phase with inp, so the servo
+      // feedback for inp comes from the opposite output outb.
+      attach_diff_testbench(n, inp, inn, /*fb_for_inp=*/outb,
+                            /*fb_for_inn=*/outa, /*outp=*/outa, /*outn=*/outb,
+                            kCload);
+    }
     bc.outp = outa;
     bc.outn = outb;
     bc.swing_top = {8};      // M9
@@ -139,6 +163,7 @@ class TwoStageTelescopic final : public Topology {
  private:
   std::vector<DesignVar> vars_;
   std::vector<Spec> specs_;
+  std::vector<Spec> tran_specs_;
 };
 
 }  // namespace

@@ -59,6 +59,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     set_log_level(parse_log_level(env));
     options.verbose = log_level() <= LogLevel::kInfo;
   }
+  if (const char* env = std::getenv("MOHECO_TRANSIENT")) {
+    options.transient = std::string_view(env) != "0";
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -76,6 +79,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else if (consume(arg, "--threads=", &value)) {
       options.threads = std::atoi(std::string(value).c_str());
+    } else if (arg == "--transient") {
+      options.transient = true;
     } else if (arg == "--verbose" || arg == "-v") {
       options.verbose = true;
       set_log_level(LogLevel::kInfo);
@@ -83,7 +88,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       // Benches print their own usage; rethrow as a sentinel.
       throw InvalidArgument(
           "usage: [--scale=smoke|default|full] [--runs=N] [--ref=N] "
-          "[--seed=N] [--threads=N] [--verbose]");
+          "[--seed=N] [--threads=N] [--transient] [--verbose]");
     } else {
       throw InvalidArgument("unknown argument: " + std::string(arg));
     }
@@ -99,6 +104,7 @@ std::string describe(const BenchOptions& options) {
               : options.scale == BenchScale::kFull ? "full" : "default")
       << " runs=" << options.runs << " ref-mc=" << options.reference_samples
       << " seed=" << options.seed;
+  if (options.transient) oss << " transient=on";
   return oss.str();
 }
 

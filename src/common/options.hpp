@@ -25,11 +25,15 @@ struct BenchOptions {
   /// Number of worker threads for MC evaluation (0 = hardware concurrency).
   int threads = 0;
   bool verbose = false;
+  /// Evaluate samples with the step-bench transient as well: slew-rate and
+  /// settling-time specs join the yield criterion (~100x per-sample cost).
+  bool transient = false;
 };
 
-/// Reads MOHECO_SCALE / MOHECO_SEED / MOHECO_THREADS / MOHECO_LOG from the
-/// environment, then overrides from argv (--scale=, --runs=, --ref=, --seed=,
-/// --threads=, --verbose).  Unknown arguments throw InvalidArgument.
+/// Reads MOHECO_SCALE / MOHECO_SEED / MOHECO_THREADS / MOHECO_LOG /
+/// MOHECO_TRANSIENT from the environment, then overrides from argv
+/// (--scale=, --runs=, --ref=, --seed=, --threads=, --transient,
+/// --verbose).  Unknown arguments throw InvalidArgument.
 BenchOptions parse_bench_options(int argc, char** argv);
 
 /// Human-readable one-line summary, printed in bench headers.

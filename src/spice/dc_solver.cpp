@@ -23,19 +23,60 @@ DcSolver::DcSolver(const Netlist& netlist)
   rhs_.assign(layout_.size(), 0.0);
 }
 
-void DcSolver::stamp_linear(Stamper<double>& stamper, double gmin,
-                            double source_scale) const {
-  const auto& nl = netlist_;
-  for (std::size_t n = 0; n < layout_.num_nodes(); ++n) {
+void stamp_linear_static(const Netlist& netlist, const MnaLayout& layout,
+                         Stamper<double>& stamper, double gmin,
+                         double source_scale, double time) {
+  for (std::size_t n = 0; n < layout.num_nodes(); ++n) {
     stamper.add(static_cast<int>(n), static_cast<int>(n), gmin);
   }
-  for (const auto& r : nl.resistors()) {
-    stamper.conductance(layout_.node_index(r.n1), layout_.node_index(r.n2),
+  for (const auto& r : netlist.resistors()) {
+    stamper.conductance(layout.node_index(r.n1), layout.node_index(r.n2),
                         1.0 / r.resistance);
   }
+  for (std::size_t i = 0; i < netlist.vsources().size(); ++i) {
+    const auto& v = netlist.vsources()[i];
+    const int br = static_cast<int>(layout.vsource_branch(i));
+    const int np = layout.node_index(v.np);
+    const int nn = layout.node_index(v.nn);
+    stamper.add(np, br, 1.0);
+    stamper.add(nn, br, -1.0);
+    stamper.add(br, np, 1.0);
+    stamper.add(br, nn, -1.0);
+    stamper.rhs_add(br, time < 0.0 ? v.dc * source_scale : v.value(time));
+  }
+  for (const auto& i : netlist.isources()) {
+    const int np = layout.node_index(i.np);
+    const int nn = layout.node_index(i.nn);
+    const double value = time < 0.0 ? i.dc * source_scale : i.dc;
+    stamper.rhs_add(np, -value);
+    stamper.rhs_add(nn, value);
+  }
+  for (std::size_t i = 0; i < netlist.vcvs().size(); ++i) {
+    const auto& e = netlist.vcvs()[i];
+    const int br = static_cast<int>(layout.vcvs_branch(i));
+    const int np = layout.node_index(e.np);
+    const int nn = layout.node_index(e.nn);
+    stamper.add(np, br, 1.0);
+    stamper.add(nn, br, -1.0);
+    stamper.add(br, np, 1.0);
+    stamper.add(br, nn, -1.0);
+    stamper.add(br, layout.node_index(e.cp), -e.gain);
+    stamper.add(br, layout.node_index(e.cn), e.gain);
+  }
+  for (const auto& g : netlist.vccs()) {
+    stamper.transconductance(layout.node_index(g.np), layout.node_index(g.nn),
+                             layout.node_index(g.cp), layout.node_index(g.cn),
+                             g.gm);
+  }
+}
+
+void DcSolver::stamp_linear(Stamper<double>& stamper, double gmin,
+                            double source_scale) const {
+  stamp_linear_static(netlist_, layout_, stamper, gmin, source_scale,
+                      /*time=*/-1.0);
   // Capacitors are open at DC.
-  for (std::size_t i = 0; i < nl.inductors().size(); ++i) {
-    const auto& l = nl.inductors()[i];
+  for (std::size_t i = 0; i < netlist_.inductors().size(); ++i) {
+    const auto& l = netlist_.inductors()[i];
     const int br = static_cast<int>(layout_.inductor_branch(i));
     const int n1 = layout_.node_index(l.n1);
     const int n2 = layout_.node_index(l.n2);
@@ -44,48 +85,16 @@ void DcSolver::stamp_linear(Stamper<double>& stamper, double gmin,
     stamper.add(br, n1, 1.0);
     stamper.add(br, n2, -1.0);  // V(n1) - V(n2) = 0: DC short
   }
-  for (std::size_t i = 0; i < nl.vsources().size(); ++i) {
-    const auto& v = nl.vsources()[i];
-    const int br = static_cast<int>(layout_.vsource_branch(i));
-    const int np = layout_.node_index(v.np);
-    const int nn = layout_.node_index(v.nn);
-    stamper.add(np, br, 1.0);
-    stamper.add(nn, br, -1.0);
-    stamper.add(br, np, 1.0);
-    stamper.add(br, nn, -1.0);
-    stamper.rhs_add(br, v.dc * source_scale);
-  }
-  for (const auto& i : nl.isources()) {
-    const int np = layout_.node_index(i.np);
-    const int nn = layout_.node_index(i.nn);
-    stamper.rhs_add(np, -i.dc * source_scale);
-    stamper.rhs_add(nn, i.dc * source_scale);
-  }
-  for (std::size_t i = 0; i < nl.vcvs().size(); ++i) {
-    const auto& e = nl.vcvs()[i];
-    const int br = static_cast<int>(layout_.vcvs_branch(i));
-    const int np = layout_.node_index(e.np);
-    const int nn = layout_.node_index(e.nn);
-    stamper.add(np, br, 1.0);
-    stamper.add(nn, br, -1.0);
-    stamper.add(br, np, 1.0);
-    stamper.add(br, nn, -1.0);
-    stamper.add(br, layout_.node_index(e.cp), -e.gain);
-    stamper.add(br, layout_.node_index(e.cn), e.gain);
-  }
-  for (const auto& g : nl.vccs()) {
-    stamper.transconductance(layout_.node_index(g.np), layout_.node_index(g.nn),
-                             layout_.node_index(g.cp), layout_.node_index(g.cn),
-                             g.gm);
-  }
 }
 
-void DcSolver::stamp_mosfets(Stamper<double>& stamper,
-                             const std::vector<double>& x) const {
+void stamp_mosfets_large_signal(const Netlist& netlist,
+                                const MnaLayout& layout,
+                                Stamper<double>& stamper,
+                                const std::vector<double>& x) {
   auto voltage = [&](NodeId n) -> double {
     return n == 0 ? 0.0 : x[static_cast<std::size_t>(n - 1)];
   };
-  for (const auto& m : netlist_.mosfets()) {
+  for (const auto& m : netlist.mosfets()) {
     const double vgs = voltage(m.g) - voltage(m.s);
     const double vds = voltage(m.d) - voltage(m.s);
     const double vbs = voltage(m.b) - voltage(m.s);
@@ -107,10 +116,10 @@ void DcSolver::stamp_mosfets(Stamper<double>& stamper,
       gmb = e.gmb;
     }
     const double ieq = id - gm * vgs - gds * vds - gmb * vbs;
-    const int d = layout_.node_index(m.d);
-    const int g = layout_.node_index(m.g);
-    const int s = layout_.node_index(m.s);
-    const int b = layout_.node_index(m.b);
+    const int d = layout.node_index(m.d);
+    const int g = layout.node_index(m.g);
+    const int s = layout.node_index(m.s);
+    const int b = layout.node_index(m.b);
     stamper.add(d, g, gm);
     stamper.add(d, d, gds);
     stamper.add(d, b, gmb);
@@ -122,6 +131,11 @@ void DcSolver::stamp_mosfets(Stamper<double>& stamper,
     stamper.rhs_add(d, -ieq);
     stamper.rhs_add(s, ieq);
   }
+}
+
+void DcSolver::stamp_mosfets(Stamper<double>& stamper,
+                             const std::vector<double>& x) const {
+  stamp_mosfets_large_signal(netlist_, layout_, stamper, x);
 }
 
 SolveStatus DcSolver::newton_loop(const DcOptions& options, double gmin,

@@ -18,6 +18,24 @@ namespace moheco::spice {
 enum class SolveStatus { kOk, kNoConvergence, kSingular };
 const char* to_string(SolveStatus status);
 
+/// Stamps the Newton-linearized large-signal MOSFET companion models at
+/// iterate `x` (conductances into the matrix, equivalent currents into the
+/// rhs).  Shared by the DC solver and the transient solver, whose per-step
+/// Newton loops linearize the same device model.
+void stamp_mosfets_large_signal(const Netlist& netlist, const MnaLayout& layout,
+                                Stamper<double>& stamper,
+                                const std::vector<double>& x);
+
+/// Stamps the frequency-independent linear devices -- gmin shunts,
+/// resistors, voltage/current sources, VCVS, VCCS -- shared by the DC and
+/// transient assemblies (inductors and capacitors are analysis-specific:
+/// short/open at DC, companion models in transient).  `time` < 0 stamps
+/// the DC source values scaled by `source_scale` (continuation); `time`
+/// >= 0 evaluates transient waveforms at that instant.
+void stamp_linear_static(const Netlist& netlist, const MnaLayout& layout,
+                         Stamper<double>& stamper, double gmin,
+                         double source_scale, double time);
+
 struct DcOptions {
   int max_iterations = 200;
   double v_tol = 1e-6;      ///< absolute node-voltage tolerance (V)

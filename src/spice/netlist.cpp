@@ -1,6 +1,7 @@
 #include "src/spice/netlist.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/error.hpp"
 
@@ -8,6 +9,74 @@ namespace moheco::spice {
 
 double Mosfet::w_eff() const { return std::max(w - 2.0 * model.wd, 1e-8); }
 double Mosfet::l_eff() const { return std::max(l - 2.0 * model.ld, 1e-8); }
+
+double SourceWaveform::value(double t, double dc) const {
+  switch (kind) {
+    case Kind::kDc:
+      return dc;
+    case Kind::kPulse: {
+      if (t <= td) return v1;
+      double phase = t - td;
+      if (period > 0.0) phase = std::fmod(phase, period);
+      if (phase < tr) return v1 + (v2 - v1) * phase / tr;
+      phase -= tr;
+      if (phase < pw) return v2;
+      phase -= pw;
+      if (phase < tf) return v2 + (v1 - v2) * phase / tf;
+      return v1;
+    }
+    case Kind::kPwl: {
+      if (pwl.empty()) return dc;
+      if (t <= pwl.front().first) return pwl.front().second;
+      if (t >= pwl.back().first) return pwl.back().second;
+      for (std::size_t i = 1; i < pwl.size(); ++i) {
+        if (t <= pwl[i].first) {
+          const auto& [t0, y0] = pwl[i - 1];
+          const auto& [t1, y1] = pwl[i];
+          return y0 + (y1 - y0) * (t - t0) / (t1 - t0);
+        }
+      }
+      return pwl.back().second;
+    }
+  }
+  return dc;
+}
+
+void SourceWaveform::breakpoints(double t_stop,
+                                 std::vector<double>* out) const {
+  auto push = [&](double t) {
+    if (t > 0.0 && t < t_stop) out->push_back(t);
+  };
+  switch (kind) {
+    case Kind::kDc:
+      break;
+    case Kind::kPulse: {
+      // Cap the generated corners: a period far below the horizon's
+      // resolution would otherwise flood the breakpoint list (and a plain
+      // int cast of the cycle count could overflow).
+      const long long cycles =
+          period > 0.0
+              ? static_cast<long long>(
+                    std::min((t_stop - td) / period + 1.0, 250000.0))
+              : 1;
+      for (long long k = 0; k < cycles; ++k) {
+        const double base = td + static_cast<double>(k) * period;
+        if (base >= t_stop) break;
+        push(base);
+        push(base + tr);
+        push(base + tr + pw);
+        push(base + tr + pw + tf);
+      }
+      break;
+    }
+    case Kind::kPwl:
+      for (const auto& [t, v] : pwl) {
+        (void)v;
+        push(t);
+      }
+      break;
+  }
+}
 
 Netlist::Netlist() {
   node_names_.push_back("0");
@@ -61,8 +130,51 @@ int Netlist::add_inductor(const std::string& name, NodeId n1, NodeId n2,
 
 int Netlist::add_vsource(const std::string& name, NodeId np, NodeId nn,
                          double dc, double ac_mag) {
-  vsources_.push_back({name, check_node(np), check_node(nn), dc, ac_mag});
+  vsources_.push_back({name, check_node(np), check_node(nn), dc, ac_mag, {}});
   return static_cast<int>(vsources_.size()) - 1;
+}
+
+int Netlist::add_pulse_vsource(const std::string& name, NodeId np, NodeId nn,
+                               double v1, double v2, double td, double tr,
+                               double tf, double pw, double period) {
+  if (!(tr > 0.0) || !(tf > 0.0) || !(pw > 0.0)) {
+    throw NetlistError("pulse source " + name + ": tr, tf, pw must be > 0");
+  }
+  if (td < 0.0) throw NetlistError("pulse source " + name + ": td must be >= 0");
+  if (period != 0.0 && period < tr + pw + tf) {
+    throw NetlistError("pulse source " + name +
+                       ": period must be 0 or >= tr + pw + tf");
+  }
+  const int index = add_vsource(name, np, nn, /*dc=*/v1);
+  SourceWaveform& wave = vsources_[index].wave;
+  wave.kind = SourceWaveform::Kind::kPulse;
+  wave.v1 = v1;
+  wave.v2 = v2;
+  wave.td = td;
+  wave.tr = tr;
+  wave.tf = tf;
+  wave.pw = pw;
+  wave.period = period;
+  return index;
+}
+
+int Netlist::add_pwl_vsource(
+    const std::string& name, NodeId np, NodeId nn,
+    const std::vector<std::pair<double, double>>& points) {
+  if (points.empty()) {
+    throw NetlistError("pwl source " + name + ": needs at least one point");
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (!(points[i].first > points[i - 1].first)) {
+      throw NetlistError("pwl source " + name +
+                         ": times must be strictly increasing");
+    }
+  }
+  const int index = add_vsource(name, np, nn, /*dc=*/points.front().second);
+  SourceWaveform& wave = vsources_[index].wave;
+  wave.kind = SourceWaveform::Kind::kPwl;
+  wave.pwl = points;
+  return index;
 }
 
 int Netlist::add_isource(const std::string& name, NodeId np, NodeId nn,

@@ -9,6 +9,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/spice/mosfet.hpp"
@@ -38,11 +39,36 @@ struct Inductor {
   double inductance = 0.0;  // henries, > 0
 };
 
+/// Transient waveform of a voltage source.  DC and AC analyses ignore it;
+/// the transient solver evaluates value(t, dc) at every accepted time point.
+struct SourceWaveform {
+  enum class Kind { kDc, kPulse, kPwl };
+  Kind kind = Kind::kDc;
+  /// Pulse parameters (SPICE PULSE semantics): v1 before td, linear ramp to
+  /// v2 over tr, hold for pw, ramp back over tf; period 0 means one-shot.
+  double v1 = 0.0, v2 = 0.0;
+  double td = 0.0, tr = 0.0, tf = 0.0, pw = 0.0, period = 0.0;
+  /// Piecewise-linear (time, value) corners, strictly increasing in time;
+  /// the value is held constant outside the covered interval.
+  std::vector<std::pair<double, double>> pwl;
+
+  /// Source value at time t; `dc` is returned for the kDc kind.
+  double value(double t, double dc) const;
+  /// Appends the waveform's slope discontinuities inside (0, t_stop); the
+  /// transient solver lands a time point on each and restarts its
+  /// integration method there.
+  void breakpoints(double t_stop, std::vector<double>* out) const;
+};
+
 struct VSource {
   std::string name;
   NodeId np = 0, nn = 0;
   double dc = 0.0;
   double ac_mag = 0.0;  ///< AC magnitude (phase 0); 0 for pure bias sources
+  SourceWaveform wave;  ///< transient stimulus; kDc = constant at `dc`
+
+  /// Transient value at time t (equals `dc` for plain DC sources).
+  double value(double t) const { return wave.value(t, dc); }
 };
 
 struct ISource {
@@ -94,6 +120,17 @@ class Netlist {
   int add_inductor(const std::string& name, NodeId n1, NodeId n2, double l);
   int add_vsource(const std::string& name, NodeId np, NodeId nn, double dc,
                   double ac_mag = 0.0);
+  /// Pulse voltage source: v1 until td, ramps to v2 over tr, holds for pw,
+  /// ramps back over tf; repeats every `period` when period > 0 (one-shot
+  /// otherwise).  The DC value (operating point / t=0) is v1.
+  int add_pulse_vsource(const std::string& name, NodeId np, NodeId nn,
+                        double v1, double v2, double td, double tr, double tf,
+                        double pw, double period = 0.0);
+  /// Piecewise-linear voltage source through `points` (strictly increasing
+  /// times); held constant before the first and after the last corner.
+  /// The DC value is the first corner's value.
+  int add_pwl_vsource(const std::string& name, NodeId np, NodeId nn,
+                      const std::vector<std::pair<double, double>>& points);
   int add_isource(const std::string& name, NodeId np, NodeId nn, double dc,
                   double ac_mag = 0.0);
   int add_vcvs(const std::string& name, NodeId np, NodeId nn, NodeId cp,

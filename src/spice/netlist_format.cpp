@@ -43,6 +43,34 @@ void write_spice_deck(std::ostream& os, const Netlist& netlist,
       os << " AC ";
       write_value(os, v.ac_mag);
     }
+    switch (v.wave.kind) {
+      case SourceWaveform::Kind::kDc:
+        break;
+      case SourceWaveform::Kind::kPulse: {
+        const SourceWaveform& w = v.wave;
+        os << " PULSE(";
+        const double params[] = {w.v1, w.v2, w.td, w.tr, w.tf, w.pw, w.period};
+        for (std::size_t i = 0; i < 7; ++i) {
+          if (i != 0) os << ' ';
+          write_value(os, params[i]);
+        }
+        os << ')';
+        break;
+      }
+      case SourceWaveform::Kind::kPwl: {
+        os << " PWL(";
+        bool first = true;
+        for (const auto& [t, value] : v.wave.pwl) {
+          if (!first) os << ' ';
+          first = false;
+          write_value(os, t);
+          os << ' ';
+          write_value(os, value);
+        }
+        os << ')';
+        break;
+      }
+    }
     os << '\n';
   }
   for (const auto& i : netlist.isources()) {

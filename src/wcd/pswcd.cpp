@@ -33,7 +33,9 @@ PswcdOptimizer::PswcdOptimizer(const circuits::CircuitYieldProblem& problem,
 WorstCaseReport PswcdOptimizer::analyze(std::span<const double> x) {
   WorstCaseReport report;
   const auto& evaluator = problem_->evaluator();
-  const auto& specs = problem_->topology().specs();
+  // The problem's enforced spec set, not topology().specs(): with transient
+  // evaluation enabled it also contains the slew/settling specs.
+  const auto& specs = problem_->specs();
   const std::size_t dim = problem_->noise_dim();
   auto session = evaluator.session(x);
 

@@ -1,0 +1,204 @@
+// Step-buffer testbench + transient-metric integration tests: every shipped
+// topology must report finite, positive slew and settling at its canonical
+// design point, per-process-sample transient evaluation must work through
+// the Session in-place perturbation path, and the transient specs must join
+// the yield criterion when enabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/circuits/circuit_yield.hpp"
+#include "src/circuits/evaluator.hpp"
+#include "src/circuits/step_metrics.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/spice/dc_solver.hpp"
+#include "src/spice/tran_solver.hpp"
+#include "src/stats/samplers.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+std::vector<double> five_t_x0() {
+  return {60e-6, 40e-6, 20e-6, 0.7e-6, 0.85};
+}
+
+std::vector<double> folded_cascode_x0() {
+  return {260e-6, 105e-6, 160e-6, 160e-6, 100e-6,
+          0.7e-6, 0.5e-6, 1.0e-6, 38e-6,  4.6, 1.9};
+}
+
+std::vector<double> two_stage_x0() {
+  return {50e-6, 40e-6, 60e-6, 80e-6, 40e-6, 100e-6,
+          0.2e-6, 0.2e-6, 0.15e-6, 5.0e-5, 4.0, 1.1e-12, 300.0};
+}
+
+// ---------------------------------------------------------------------------
+// Step-response waveform metric extraction on synthetic waveforms.
+// ---------------------------------------------------------------------------
+
+TEST(StepMetrics, FirstOrderResponse) {
+  // v(t) = 1 - e^{-t/tau} after the edge at t_edge.
+  const double tau = 1e-7, t_edge = 1e-7;
+  std::vector<double> time, v;
+  for (int i = 0; i <= 4000; ++i) {
+    const double t = i * 5e-10;
+    time.push_back(t);
+    v.push_back(t < t_edge ? 0.0 : 1.0 - std::exp(-(t - t_edge) / tau));
+  }
+  const StepMetrics m = measure_step_response(time, v, t_edge, 0.01);
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.v_initial, 0.0, 1e-9);
+  EXPECT_NEAR(m.v_final, 1.0, 1e-3);
+  // Peak slope inside the 10%-90% window is at the 10% point: 0.9/tau.
+  EXPECT_NEAR(m.slew_rate, 0.9 / tau, 0.05 / tau);
+  // 1% settling of a first-order response: tau * ln(100).
+  EXPECT_NEAR(m.settling_time, tau * std::log(100.0), 0.1 * tau);
+  EXPECT_NEAR(m.overshoot, 0.0, 1e-6);
+}
+
+TEST(StepMetrics, UnsettledWaveformIsInvalid) {
+  std::vector<double> time, v;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 1e-8;
+    time.push_back(t);
+    v.push_back(t);  // ramp: never settles
+  }
+  const StepMetrics m = measure_step_response(time, v, 1e-8, 0.01);
+  EXPECT_FALSE(m.valid);
+}
+
+// ---------------------------------------------------------------------------
+// Nominal step response of the shipped topologies.
+// ---------------------------------------------------------------------------
+
+struct NamedCase {
+  const char* name;
+  std::shared_ptr<const Topology> (*make)();
+  std::vector<double> (*x0)();
+};
+
+class TopologyStepTest : public ::testing::TestWithParam<NamedCase> {};
+
+TEST_P(TopologyStepTest, StepBenchHasStimulusAndSameDeviceOrder) {
+  const NamedCase& c = GetParam();
+  auto topo = c.make();
+  const BuiltCircuit ac = topo->build(c.x0(), Testbench::kAcOpenLoop);
+  const BuiltCircuit step = topo->build(c.x0(), Testbench::kStepBuffer);
+  EXPECT_LT(ac.step.source, 0);
+  ASSERT_GE(step.step.source, 0);
+  EXPECT_GT(step.step.t_stop, 0.0);
+  EXPECT_NE(step.step.v_step, 0.0);
+  // The canonical transistor order must match so one process layout and
+  // in-place card perturbation serve both testbenches.
+  ASSERT_EQ(ac.netlist.mosfets().size(), step.netlist.mosfets().size());
+  for (std::size_t i = 0; i < ac.netlist.mosfets().size(); ++i) {
+    EXPECT_EQ(ac.netlist.mosfets()[i].name, step.netlist.mosfets()[i].name);
+    EXPECT_EQ(ac.netlist.mosfets()[i].w, step.netlist.mosfets()[i].w);
+  }
+  // The pulse's t=0 value equals its DC bias, so the transient starts from
+  // the buffer's operating point without a spurious edge at t=0.
+  const spice::VSource& pulse = step.netlist.vsources()[step.step.source];
+  EXPECT_EQ(pulse.value(0.0), pulse.dc);
+}
+
+TEST_P(TopologyStepTest, NominalSlewIsFinitePositiveAndSettles) {
+  const NamedCase& c = GetParam();
+  EvalOptions options;
+  options.transient = true;
+  AmplifierEvaluator eval(c.make(), options);
+  auto session = eval.session(c.x0());
+  const Performance perf = session->nominal();
+  ASSERT_TRUE(perf.valid) << c.name;
+  EXPECT_TRUE(std::isfinite(perf.slew_rate)) << c.name;
+  EXPECT_GT(perf.slew_rate, 0.0) << c.name;
+  // Settled well inside the horizon (not pinned at the failure default).
+  EXPECT_LT(perf.settling_time, 1e-3) << c.name;
+  EXPECT_GT(perf.settling_time, 0.0) << c.name;
+  // The canonical design point meets the registered transient specs.
+  EXPECT_TRUE(passes(perf, eval.topology().transient_specs())) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, TopologyStepTest,
+    ::testing::Values(
+        NamedCase{"five_t_ota", make_five_transistor_ota, five_t_x0},
+        NamedCase{"folded_cascode", make_folded_cascode, folded_cascode_x0},
+        NamedCase{"two_stage_telescopic", make_two_stage_telescopic,
+                  two_stage_x0}),
+    [](const ::testing::TestParamInfo<NamedCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------------
+// Session integration: per-sample transient via in-place perturbation.
+// ---------------------------------------------------------------------------
+
+TEST(SessionTransient, ProcessSamplesShiftSlewButStayFinite) {
+  EvalOptions options;
+  options.transient = true;
+  AmplifierEvaluator eval(make_five_transistor_ota(), options);
+  auto session = eval.session(five_t_x0());
+  const double nominal_slew = session->nominal().slew_rate;
+  ASSERT_GT(nominal_slew, 0.0);
+  const linalg::MatrixD xi = stats::sample_standard_normal(
+      stats::SamplingMethod::kPMC, 4,
+      static_cast<std::size_t>(eval.process().dim()), 17);
+  int changed = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Performance perf = session->evaluate({xi.row(i), xi.cols()});
+    ASSERT_TRUE(perf.valid);
+    EXPECT_GT(perf.slew_rate, 0.0);
+    EXPECT_TRUE(std::isfinite(perf.slew_rate));
+    if (std::fabs(perf.slew_rate - nominal_slew) > 1e-3 * nominal_slew) {
+      ++changed;
+    }
+  }
+  EXPECT_GE(changed, 3);  // process variation must actually move the metric
+}
+
+TEST(SessionTransient, SampleEvaluationIsDeterministic) {
+  EvalOptions options;
+  options.transient = true;
+  AmplifierEvaluator eval(make_five_transistor_ota(), options);
+  auto s1 = eval.session(five_t_x0());
+  auto s2 = eval.session(five_t_x0());
+  const linalg::MatrixD xi = stats::sample_standard_normal(
+      stats::SamplingMethod::kLHS, 2,
+      static_cast<std::size_t>(eval.process().dim()), 23);
+  const Performance a0 = s1->evaluate({xi.row(0), xi.cols()});
+  const Performance a1 = s1->evaluate({xi.row(1), xi.cols()});
+  const Performance b1 = s2->evaluate({xi.row(1), xi.cols()});
+  const Performance b0 = s2->evaluate({xi.row(0), xi.cols()});
+  EXPECT_EQ(a0.slew_rate, b0.slew_rate);
+  EXPECT_EQ(a0.settling_time, b0.settling_time);
+  EXPECT_EQ(a1.slew_rate, b1.slew_rate);
+  EXPECT_EQ(a1.settling_time, b1.settling_time);
+}
+
+TEST(SessionTransient, DisabledByDefaultKeepsFailingDefaults) {
+  AmplifierEvaluator eval(make_five_transistor_ota());
+  auto session = eval.session(five_t_x0());
+  const Performance perf = session->nominal();
+  ASSERT_TRUE(perf.valid);
+  EXPECT_EQ(perf.slew_rate, 0.0);
+  EXPECT_EQ(perf.settling_time, 1.0);
+  EXPECT_FALSE(passes(perf, eval.topology().transient_specs()));
+}
+
+TEST(CircuitYieldTransient, TransientSpecsJoinTheCriterion) {
+  EvalOptions options;
+  options.transient = true;
+  CircuitYieldProblem plain(make_five_transistor_ota());
+  CircuitYieldProblem with_tran(make_five_transistor_ota(), options);
+  EXPECT_EQ(with_tran.specs().size(),
+            plain.specs().size() +
+                with_tran.topology().transient_specs().size());
+  // The canonical point passes nominally under the extended criterion.
+  auto session = with_tran.open(five_t_x0());
+  const mc::SampleResult nominal = session->evaluate({});
+  EXPECT_TRUE(nominal.pass);
+}
+
+}  // namespace
+}  // namespace moheco::circuits

@@ -302,6 +302,47 @@ TEST(NetlistFormat, DeckContainsEveryDevice) {
   }
 }
 
+TEST(NetlistFormat, EmitsTransientWaveforms) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  n.add_pulse_vsource("Vp", a, 0, 0.0, 3.3, 1e-9, 2e-9, 3e-9, 1e-6, 2e-6);
+  n.add_pwl_vsource("Vw", b, 0, {{0.0, 1.0}, {1e-6, 2.5}});
+  n.add_resistor("R1", a, b, 1e3);
+  const std::string deck = to_spice_deck(n, "tran sources");
+  EXPECT_NE(deck.find("Vp a 0 DC 0 PULSE(0 3.3 1e-09 2e-09 3e-09 1e-06 "
+                      "2e-06)"),
+            std::string::npos)
+      << deck;
+  EXPECT_NE(deck.find("Vw b 0 DC 1 PWL(0 1 1e-06 2.5)"), std::string::npos)
+      << deck;
+}
+
+TEST(NetlistFormat, GoldenDeckRoundTrip) {
+  // Full-deck golden comparison: the exported deck is the cross-check
+  // interface against external simulators, so its exact shape is pinned.
+  // Any intentional format change must update this golden text.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_pulse_vsource("Vin", in, 0, 0.5, 1.5, 1e-8, 1e-9, 1e-9, 5e-7);
+  n.add_resistor("R1", in, out, 1e3);
+  n.add_capacitor("CL", out, 0, 2e-12);
+  MosModel m = test_nmos();
+  n.add_mosfet("M1", out, in, 0, 0, false, 1e-5, 1e-6, m);
+  const std::string golden =
+      "* golden\n"
+      "R1 in out 1000\n"
+      "CL out 0 2e-12\n"
+      "Vin in 0 DC 0.5 PULSE(0.5 1.5 1e-08 1e-09 1e-09 5e-07 0)\n"
+      "M1 out in 0 0 model_M1 W=1e-05 L=1e-06\n"
+      ".model model_M1 NMOS (LEVEL=1 VTO=0.55 GAMMA=0.55 PHI=0.8 "
+      "LAMBDA=0.06 TOX=7.5e-09 UO=400 LD=0 WD=0 CGSO=2e-10 CGDO=2e-10 "
+      "CJ=0.0009 CJSW=2.5e-10)\n"
+      ".end\n";
+  EXPECT_EQ(to_spice_deck(n, "golden"), golden);
+}
+
 TEST(NetlistFormat, PmosVtoIsNegative) {
   Netlist n;
   const NodeId vdd = n.node("vdd");

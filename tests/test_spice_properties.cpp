@@ -9,6 +9,7 @@
 #include "src/spice/dc_solver.hpp"
 #include "src/spice/mosfet.hpp"
 #include "src/spice/netlist.hpp"
+#include "src/spice/tran_solver.hpp"
 #include "src/stats/rng.hpp"
 
 namespace moheco::spice {
@@ -202,6 +203,57 @@ TEST(AcProperties, SuperpositionOfTwoSources) {
   const auto only2 = response(0.0, 1.0);
   EXPECT_NEAR(std::abs(both - (only1 + only2)), 0.0, 1e-12);
 }
+
+// ---------------------------------------------------------------------------
+// Transient properties: adaptive and fixed stepping agree on random
+// pulse-driven RC ladders.
+// ---------------------------------------------------------------------------
+
+class TranLadderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranLadderTest, AdaptiveAgreesWithFineFixedStep) {
+  const int rungs = GetParam();
+  stats::Rng rng(4000 + static_cast<std::uint64_t>(rungs));
+  Netlist n;
+  std::vector<NodeId> nodes;
+  nodes.push_back(n.node("drive"));
+  n.add_pulse_vsource("Vin", nodes[0], 0, 0.0, rng.uniform(0.5, 3.0),
+                      /*td=*/0.2e-6, /*tr=*/1e-9, /*tf=*/1e-9, /*pw=*/1.0);
+  for (int i = 1; i <= rungs; ++i) {
+    nodes.push_back(n.node("n" + std::to_string(i)));
+    n.add_resistor("Rs" + std::to_string(i), nodes[i - 1], nodes[i],
+                   rng.uniform(1e2, 1e4));
+    n.add_capacitor("Cp" + std::to_string(i), nodes[i], 0,
+                    rng.uniform(1e-11, 1e-9));
+  }
+  TranOptions adaptive_options;
+  adaptive_options.t_stop = 10e-6;
+  adaptive_options.lte_rel = 1e-4;
+  adaptive_options.lte_abs = 1e-7;
+  TranSolver adaptive(n);
+  ASSERT_EQ(adaptive.run(adaptive_options), SolveStatus::kOk);
+
+  TranOptions fixed_options;
+  fixed_options.t_stop = adaptive_options.t_stop;
+  fixed_options.adaptive = false;
+  fixed_options.dt_init = fixed_options.t_stop / 50000.0;
+  TranSolver fixed(n);
+  ASSERT_EQ(fixed.run(fixed_options), SolveStatus::kOk);
+
+  // The adaptive run must reproduce the reference waveform at every probe
+  // time on every internal node, with far fewer steps.
+  for (const NodeId node : nodes) {
+    for (double t = 0.0; t <= fixed_options.t_stop; t += 0.5e-6) {
+      EXPECT_NEAR(adaptive.voltage_at(t, node), fixed.voltage_at(t, node),
+                  2e-3)
+          << "node " << n.node_name(node) << " t=" << t;
+    }
+  }
+  EXPECT_LT(adaptive.stats().steps, fixed.stats().steps / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(LadderSizes, TranLadderTest,
+                         ::testing::Values(2, 4, 7, 12));
 
 TEST(DcProperties, WarmStartMatchesColdStart) {
   // Warm-started Newton must land on the same operating point.

@@ -1,0 +1,265 @@
+// Transient engine tests: analytic first-order step responses, integration
+// order under step refinement, waveform evaluation, and breakpoint/step
+// control behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/dc_solver.hpp"
+#include "src/spice/netlist.hpp"
+#include "src/spice/tran_solver.hpp"
+
+namespace moheco::spice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source waveforms.
+// ---------------------------------------------------------------------------
+
+TEST(SourceWaveform, PulseShape) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_resistor("R1", a, 0, 1e3);
+  const int i = n.add_pulse_vsource("V1", a, 0, /*v1=*/1.0, /*v2=*/3.0,
+                                    /*td=*/1e-6, /*tr=*/1e-7, /*tf=*/2e-7,
+                                    /*pw=*/1e-6);
+  const VSource& v = n.vsources()[i];
+  EXPECT_EQ(v.dc, 1.0);  // operating-point value is v1
+  EXPECT_EQ(v.value(0.0), 1.0);
+  EXPECT_EQ(v.value(0.5e-6), 1.0);
+  EXPECT_NEAR(v.value(1.05e-6), 2.0, 1e-12);  // mid-rise
+  EXPECT_EQ(v.value(1.5e-6), 3.0);            // plateau
+  EXPECT_NEAR(v.value(1.1e-6 + 1e-6 + 1e-7), 2.0, 1e-12);  // mid-fall
+  EXPECT_EQ(v.value(5e-6), 1.0);              // back to v1, one-shot
+}
+
+TEST(SourceWaveform, PeriodicPulseRepeats) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_resistor("R1", a, 0, 1e3);
+  const int i = n.add_pulse_vsource("V1", a, 0, 0.0, 1.0, /*td=*/0.0,
+                                    /*tr=*/1e-9, /*tf=*/1e-9, /*pw=*/0.5e-6,
+                                    /*period=*/1e-6);
+  const VSource& v = n.vsources()[i];
+  EXPECT_EQ(v.value(0.25e-6), 1.0);
+  EXPECT_EQ(v.value(0.75e-6), 0.0);
+  EXPECT_EQ(v.value(1.25e-6), 1.0);  // second cycle
+  EXPECT_EQ(v.value(1.75e-6), 0.0);
+}
+
+TEST(SourceWaveform, PwlInterpolatesAndClamps) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_resistor("R1", a, 0, 1e3);
+  const int i =
+      n.add_pwl_vsource("V1", a, 0, {{1e-6, 0.0}, {2e-6, 2.0}, {4e-6, -1.0}});
+  const VSource& v = n.vsources()[i];
+  EXPECT_EQ(v.dc, 0.0);
+  EXPECT_EQ(v.value(0.0), 0.0);            // clamped before first corner
+  EXPECT_NEAR(v.value(1.5e-6), 1.0, 1e-12);
+  EXPECT_NEAR(v.value(3e-6), 0.5, 1e-12);
+  EXPECT_EQ(v.value(9e-6), -1.0);          // clamped after last corner
+}
+
+TEST(SourceWaveform, RejectsMalformedInput) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.add_pulse_vsource("V1", a, 0, 0, 1, 0, /*tr=*/0, 1e-9, 1e-6),
+               NetlistError);
+  EXPECT_THROW(n.add_pwl_vsource("V2", a, 0, {}), NetlistError);
+  EXPECT_THROW(n.add_pwl_vsource("V3", a, 0, {{1e-6, 0.0}, {1e-6, 1.0}}),
+               NetlistError);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic first-order responses.
+// ---------------------------------------------------------------------------
+
+// RC lowpass driven by a step through R: v_out(t) = Vf (1 - e^{-t/RC}).
+Netlist rc_step_netlist(double r, double c, double v_step, double td,
+                        double tr) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_pulse_vsource("Vin", in, 0, 0.0, v_step, td, tr, tr, /*pw=*/1.0);
+  n.add_resistor("R1", in, out, r);
+  n.add_capacitor("C1", out, 0, c);
+  return n;
+}
+
+TEST(Tran, RcStepMatchesAnalyticWithinTenthPercent) {
+  const double r = 1e3, c = 1e-9, tau = r * c;  // 1 us
+  const double td = 0.2e-6, tr = 1e-12, v_step = 1.0;
+  Netlist n = rc_step_netlist(r, c, v_step, td, tr);
+  const NodeId out = n.node("out");
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = td + 6.0 * tau;
+  options.lte_rel = 1e-4;
+  options.lte_abs = 1e-7;
+  ASSERT_EQ(tran.run(options), SolveStatus::kOk);
+
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < tran.num_points(); ++k) {
+    const double t = tran.time()[k];
+    // Skip the 1 ps ramp itself; the analytic form assumes an ideal edge.
+    if (t < td + 2.0 * tr) continue;
+    const double expected = v_step * (1.0 - std::exp(-(t - td) / tau));
+    max_err = std::max(max_err, std::fabs(tran.voltage(k, out) - expected));
+  }
+  EXPECT_LT(max_err, 1e-3 * v_step);  // < 0.1% of the step
+  EXPECT_GT(tran.stats().steps, 50);
+}
+
+TEST(Tran, RlStepMatchesAnalytic) {
+  // Series R-L to ground: v_L(t) = V e^{-t R/L} after the step.
+  const double r = 1e3, l = 1e-3, tau = l / r;  // 1 us
+  const double td = 0.1e-6, v_step = 2.0;
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  n.add_pulse_vsource("Vin", in, 0, 0.0, v_step, td, 1e-12, 1e-12, 1.0);
+  n.add_resistor("R1", in, mid, r);
+  n.add_inductor("L1", mid, 0, l);
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = td + 6.0 * tau;
+  options.lte_rel = 1e-4;
+  options.lte_abs = 1e-7;
+  ASSERT_EQ(tran.run(options), SolveStatus::kOk);
+
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < tran.num_points(); ++k) {
+    const double t = tran.time()[k];
+    if (t < td + 1e-11) continue;
+    const double expected = v_step * std::exp(-(t - td) / tau);
+    max_err = std::max(max_err, std::fabs(tran.voltage(k, mid) - expected));
+  }
+  EXPECT_LT(max_err, 1e-3 * v_step);
+}
+
+// ---------------------------------------------------------------------------
+// Integration order under fixed-step refinement.
+// ---------------------------------------------------------------------------
+
+// Global error at t_probe of a fixed-step run on the RC step circuit.
+double rc_fixed_step_error(double dt, bool trapezoidal) {
+  const double r = 1e3, c = 1e-9, tau = r * c;
+  const double td = 0.0, v_step = 1.0;
+  Netlist n = rc_step_netlist(r, c, v_step, /*td=*/td, /*tr=*/1e-15);
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = 2.0 * tau;
+  options.dt_init = dt;
+  options.adaptive = false;
+  options.trapezoidal = trapezoidal;
+  options.be_startup_steps = 0;
+  EXPECT_EQ(tran.run(options), SolveStatus::kOk);
+  const double t_probe = 1.5 * tau;
+  const double expected = v_step * (1.0 - std::exp(-(t_probe - 1e-15) / tau));
+  return std::fabs(tran.voltage_at(t_probe, n.node("out")) - expected);
+}
+
+TEST(Tran, TrapezoidalIsSecondOrder) {
+  const double e1 = rc_fixed_step_error(2e-8, /*trapezoidal=*/true);
+  const double e2 = rc_fixed_step_error(1e-8, /*trapezoidal=*/true);
+  ASSERT_GT(e1, 0.0);
+  // Halving the step must cut the global error ~4x (order 2).
+  EXPECT_GT(e1 / e2, 3.0);
+  EXPECT_LT(e1 / e2, 5.5);
+}
+
+TEST(Tran, BackwardEulerIsFirstOrder) {
+  const double e1 = rc_fixed_step_error(2e-8, /*trapezoidal=*/false);
+  const double e2 = rc_fixed_step_error(1e-8, /*trapezoidal=*/false);
+  ASSERT_GT(e1, 0.0);
+  // Halving the step must cut the global error ~2x (order 1).
+  EXPECT_GT(e1 / e2, 1.6);
+  EXPECT_LT(e1 / e2, 2.6);
+}
+
+TEST(Tran, TrapezoidalBeatsBackwardEulerAtTheSameStep) {
+  EXPECT_LT(rc_fixed_step_error(1e-8, true),
+            0.2 * rc_fixed_step_error(1e-8, false));
+}
+
+// ---------------------------------------------------------------------------
+// Step control and state handling.
+// ---------------------------------------------------------------------------
+
+TEST(Tran, AdaptiveUsesFewerStepsThanFixedAtSameAccuracy) {
+  const double r = 1e3, c = 1e-9, tau = r * c;
+  Netlist n = rc_step_netlist(r, c, 1.0, /*td=*/2e-6, /*tr=*/1e-9);
+  const NodeId out = n.node("out");
+
+  TranSolver adaptive(n);
+  TranOptions options;
+  options.t_stop = 2e-6 + 10.0 * tau;
+  ASSERT_EQ(adaptive.run(options), SolveStatus::kOk);
+
+  TranSolver fixed(n);
+  TranOptions fixed_options = options;
+  fixed_options.adaptive = false;
+  fixed_options.dt_init = options.t_stop / 20000.0;
+  ASSERT_EQ(fixed.run(fixed_options), SolveStatus::kOk);
+
+  // The long pre-step and post-settling tails take big steps.
+  EXPECT_LT(adaptive.stats().steps, fixed.stats().steps / 4);
+  // Yet the waveforms agree.
+  for (double t : {1e-6, 2.5e-6, 4e-6, 8e-6}) {
+    EXPECT_NEAR(adaptive.voltage_at(t, out), fixed.voltage_at(t, out), 2e-3);
+  }
+}
+
+TEST(Tran, LandsExactlyOnBreakpointsAndHorizon) {
+  Netlist n = rc_step_netlist(1e3, 1e-9, 1.0, /*td=*/1e-6, /*tr=*/1e-8);
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = 5e-6;
+  ASSERT_EQ(tran.run(options), SolveStatus::kOk);
+  const auto& time = tran.time();
+  EXPECT_EQ(time.front(), 0.0);
+  EXPECT_NEAR(time.back(), options.t_stop, 1e-18);
+  for (double bp : {1e-6, 1e-6 + 1e-8}) {
+    bool found = false;
+    for (double t : time) {
+      if (std::fabs(t - bp) < 1e-15) found = true;
+    }
+    EXPECT_TRUE(found) << "missing breakpoint " << bp;
+  }
+}
+
+TEST(Tran, StartsFromProvidedOperatingPoint) {
+  Netlist n = rc_step_netlist(1e3, 1e-9, 1.0, /*td=*/0.5e-6, /*tr=*/1e-9);
+  DcSolver dc(n);
+  ASSERT_EQ(dc.solve(DcOptions{}), SolveStatus::kOk);
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = 2e-6;
+  ASSERT_EQ(tran.run(options, &dc.op().solution), SolveStatus::kOk);
+  EXPECT_NEAR(tran.voltage(0, n.node("out")), 0.0, 1e-9);
+}
+
+TEST(Tran, CapacitorDividerConservesChargeAcrossPulse) {
+  // Periodic square wave into an RC: after many cycles the output must stay
+  // bounded inside the drive range (no charge pump-up from the companion
+  // model bookkeeping).
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_pulse_vsource("Vin", in, 0, 0.0, 1.0, 0.0, 1e-9, 1e-9, 0.5e-6, 1e-6);
+  n.add_resistor("R1", in, out, 1e3);
+  n.add_capacitor("C1", out, 0, 1e-10);
+  TranSolver tran(n);
+  TranOptions options;
+  options.t_stop = 10e-6;
+  ASSERT_EQ(tran.run(options), SolveStatus::kOk);
+  for (std::size_t k = 0; k < tran.num_points(); ++k) {
+    const double v = tran.voltage(k, out);
+    EXPECT_GT(v, -0.01);
+    EXPECT_LT(v, 1.01);
+  }
+}
+
+}  // namespace
+}  // namespace moheco::spice
