@@ -1,0 +1,175 @@
+// Micro benchmark for the linear-solve backends: assemble + factor + solve
+// on generated RC-ladder and RC-grid MNA systems from n=10 to n=2000, dense
+// vs sparse, with the sparse numbers split into the one-off first
+// factorization (symbolic analysis + fully pivoted factor) and the
+// refactor+solve hot path every Newton iteration / MC sample actually pays.
+//
+// Doubles as a correctness gate: the two backends must agree to 1e-10
+// (relative) on every scenario, and at n >= 500 the sparse hot path must
+// beat dense factor+solve by >= 5x; violations exit non-zero so CI fails.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.hpp"
+#include "src/common/table.hpp"
+#include "src/spice/dc_solver.hpp"
+#include "src/spice/mna.hpp"
+#include "src/spice/netlist_gen.hpp"
+
+namespace {
+
+using namespace moheco;
+using spice::SolverBackend;
+
+struct Scenario {
+  std::string name;
+  spice::Netlist netlist;
+  bool check_speedup = false;  ///< acceptance gate: sparse >= 5x dense
+};
+
+struct BackendResult {
+  double ns_per_solve = 0.0;       ///< steady-state assemble+factor+solve
+  double first_factor_ns = 0.0;    ///< includes symbolic analysis (sparse)
+  std::vector<double> solution;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+BackendResult run_backend(const spice::Netlist& netlist,
+                          SolverBackend backend, double min_seconds) {
+  const spice::MnaLayout layout(netlist);
+  spice::MnaSystem<double> sys;
+  sys.reset(layout.size(), backend);
+  auto assemble_factor_solve = [&](std::vector<double>* out) {
+    sys.begin_assembly();
+    spice::Stamper<double> stamper(sys);
+    stamp_linear_static(netlist, layout, stamper, /*gmin=*/1e-12,
+                        /*source_scale=*/1.0, /*time=*/-1.0);
+    sys.end_assembly();
+    std::vector<double> x = sys.rhs();
+    if (!sys.factor()) {
+      std::fprintf(stderr, "factor failed (%s)\n", to_string(backend));
+      std::exit(1);
+    }
+    sys.solve(x);
+    if (out != nullptr) *out = std::move(x);
+  };
+
+  BackendResult result;
+  const auto first_start = std::chrono::steady_clock::now();
+  assemble_factor_solve(&result.solution);
+  result.first_factor_ns = seconds_since(first_start) * 1e9;
+
+  int iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    assemble_factor_solve(nullptr);
+    ++iterations;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds && iterations < 200000);
+  result.ns_per_solve = elapsed * 1e9 / iterations;
+  return result;
+}
+
+std::string format_ns(double ns) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g", ns);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv, "Micro: dense vs sparse MNA factor+solve scaling");
+  const double min_seconds = options.scale == BenchScale::kSmoke ? 0.02 : 0.2;
+
+  std::vector<int> ladder_sizes = {10, 50, 100, 200, 500};
+  if (options.scale != BenchScale::kSmoke) {
+    ladder_sizes.push_back(1000);
+    ladder_sizes.push_back(2000);
+  }
+  std::vector<Scenario> scenarios;
+  for (int n : ladder_sizes) {
+    spice::LadderSpec spec;
+    spec.sections = n;
+    scenarios.push_back({"ladder-" + std::to_string(n), make_rc_ladder(spec),
+                         /*check_speedup=*/n >= 500});
+  }
+  {
+    spice::GridSpec spec;
+    const int side = options.scale == BenchScale::kSmoke ? 16 : 45;
+    spec.rows = side;
+    spec.cols = side;
+    scenarios.push_back({"grid-" + std::to_string(side) + "x" +
+                             std::to_string(side),
+                         make_rc_grid(spec), /*check_speedup=*/false});
+  }
+
+  Table table({"scenario", "n", "dense ns", "sparse ns", "sparse 1st ns",
+               "speedup", "max |dx|"});
+  bool ok = true;
+  std::string json_rows;
+  for (const Scenario& s : scenarios) {
+    const spice::MnaLayout layout(s.netlist);
+    const BackendResult dense =
+        run_backend(s.netlist, SolverBackend::kDense, min_seconds);
+    const BackendResult sparse =
+        run_backend(s.netlist, SolverBackend::kSparse, min_seconds);
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < dense.solution.size(); ++i) {
+      const double scale = std::max(1.0, std::fabs(dense.solution[i]));
+      max_delta = std::max(
+          max_delta, std::fabs(dense.solution[i] - sparse.solution[i]) / scale);
+    }
+    const double speedup = dense.ns_per_solve / sparse.ns_per_solve;
+    if (max_delta > 1e-10) {
+      std::fprintf(stderr, "FAIL %s: backends disagree (max delta %.3g)\n",
+                   s.name.c_str(), max_delta);
+      ok = false;
+    }
+    if (s.check_speedup && speedup < 5.0) {
+      std::fprintf(stderr, "FAIL %s: sparse speedup %.2fx < 5x\n",
+                   s.name.c_str(), speedup);
+      ok = false;
+    }
+    char speedup_text[32];
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.1fx", speedup);
+    table.add_row({s.name, std::to_string(layout.size()),
+                   format_ns(dense.ns_per_solve),
+                   format_ns(sparse.ns_per_solve),
+                   format_ns(sparse.first_factor_ns), speedup_text,
+                   format_ns(max_delta)});
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"name\":\"%s\",\"n\":%zu,\"dense_ns\":%.1f,"
+                  "\"sparse_ns\":%.1f,\"sparse_first_factor_ns\":%.1f,"
+                  "\"speedup\":%.2f,\"max_rel_delta\":%.3g}",
+                  json_rows.empty() ? "" : ",", s.name.c_str(), layout.size(),
+                  dense.ns_per_solve, sparse.ns_per_solve,
+                  sparse.first_factor_ns, speedup, max_delta);
+    json_rows += row;
+  }
+  table.print(std::cout, "dense vs sparse MNA solve (steady state)");
+
+  if (!options.json.empty()) {
+    std::ofstream out(options.json);
+    out << "{\"bench_micro_sparse\":{\"scenarios\":[" << json_rows << "]}}\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", options.json.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,10 +1,13 @@
 // Micro benchmark for the transient engine: timesteps/sec on the 5T OTA
 // step-response testbench (the workload a transient-aware yield flow runs
-// once per Monte-Carlo sample).  Establishes the perf baseline for future
-// transient optimizations; run with --scale=full for longer timing windows.
+// once per Monte-Carlo sample), reported for both linear-solve backends.
+// Establishes the perf baseline for future transient optimizations; run
+// with --scale=full for longer timing windows.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_support.hpp"
@@ -69,7 +72,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<double> op = dc.op().solution;
-  spice::TranSolver tran(circuit.netlist);
 
   spice::TranOptions adaptive;
   adaptive.t_stop = circuit.step.t_stop;
@@ -77,26 +79,56 @@ int main(int argc, char** argv) {
   fixed.adaptive = false;
   fixed.dt_init = adaptive.t_stop / 3000.0;
 
-  // Warm up caches and the branch predictor before timing.
-  time_mode(tran, adaptive, op, 3);
+  // One solver per backend; each reuses its workspace (and, for sparse,
+  // its symbolic analysis) across every run.
+  spice::TranSolver tran_dense(circuit.netlist, spice::SolverBackend::kDense);
+  spice::TranSolver tran_sparse(circuit.netlist, spice::SolverBackend::kSparse);
 
-  Table table({"mode", "runs", "steps/run", "newton/step", "steps/sec",
-               "transients/sec"});
+  // Warm up caches and the branch predictor before timing.
+  time_mode(tran_dense, adaptive, op, 3);
+  time_mode(tran_sparse, adaptive, op, 3);
+
+  Table table({"mode", "backend", "runs", "steps/run", "newton/step",
+               "steps/sec", "transients/sec"});
   const struct {
     const char* name;
     const spice::TranOptions* mode;
   } modes[] = {{"adaptive", &adaptive}, {"fixed-3000", &fixed}};
+  const struct {
+    const char* name;
+    spice::TranSolver* solver;
+  } backends[] = {{"dense", &tran_dense}, {"sparse", &tran_sparse}};
+  std::string json_rows;
   for (const auto& m : modes) {
-    const Timing t = time_mode(tran, *m.mode, op, runs);
-    const double steps_per_run = static_cast<double>(t.steps) / t.runs;
-    table.add_row({m.name, std::to_string(t.runs), format_rate(steps_per_run),
-                   format_rate(static_cast<double>(t.newton) / t.steps),
-                   format_rate(t.steps / t.seconds),
-                   format_rate(t.runs / t.seconds)});
+    for (const auto& b : backends) {
+      const Timing t = time_mode(*b.solver, *m.mode, op, runs);
+      const double steps_per_run = static_cast<double>(t.steps) / t.runs;
+      const double steps_per_sec = t.steps / t.seconds;
+      table.add_row({m.name, b.name, std::to_string(t.runs),
+                     format_rate(steps_per_run),
+                     format_rate(static_cast<double>(t.newton) / t.steps),
+                     format_rate(steps_per_sec),
+                     format_rate(t.runs / t.seconds)});
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s{\"mode\":\"%s\",\"backend\":\"%s\","
+                    "\"steps_per_sec\":%.1f,\"transients_per_sec\":%.2f}",
+                    json_rows.empty() ? "" : ",", m.name, b.name,
+                    steps_per_sec, t.runs / t.seconds);
+      json_rows += row;
+    }
   }
   table.print(std::cout,
               "transient micro bench (" + std::to_string(circuit.netlist
                                                              .num_nodes()) +
                   " nodes)");
+  if (!options.json.empty()) {
+    std::ofstream out(options.json);
+    out << "{\"bench_micro_transient\":{\"modes\":[" << json_rows << "]}}\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", options.json.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

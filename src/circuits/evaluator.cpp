@@ -41,7 +41,9 @@ AmplifierEvaluator::Session::Session(const AmplifierEvaluator& parent,
   for (const auto& m : circuit_.netlist.mosfets()) {
     base_cards_.push_back(m.model);
   }
-  dc_ = std::make_unique<spice::DcSolver>(circuit_.netlist);
+  const spice::SolverBackend backend = parent.options().backend;
+  dc_ = std::make_unique<spice::DcSolver>(circuit_.netlist, backend);
+  ac_ = std::make_unique<spice::AcSolver>(circuit_.netlist, backend);
   if (parent.options().transient) {
     step_circuit_ = std::make_unique<BuiltCircuit>(
         parent.topology().build(x, Testbench::kStepBuffer));
@@ -50,8 +52,10 @@ AmplifierEvaluator::Session::Session(const AmplifierEvaluator& parent,
             "Session: step testbench transistor count mismatch");
     require(step_circuit_->step.source >= 0,
             "Session: step testbench has no stimulus");
-    step_dc_ = std::make_unique<spice::DcSolver>(step_circuit_->netlist);
-    tran_ = std::make_unique<spice::TranSolver>(step_circuit_->netlist);
+    step_dc_ =
+        std::make_unique<spice::DcSolver>(step_circuit_->netlist, backend);
+    tran_ =
+        std::make_unique<spice::TranSolver>(step_circuit_->netlist, backend);
   }
   nominal_perf_ = measure(/*is_nominal=*/true);
 }
@@ -123,12 +127,12 @@ Performance AmplifierEvaluator::Session::measure_small_signal(
   perf.swing = 2.0 * (circuit_.vdd - top - bottom);
 
   // --- AC: A0, GBW (log bisection on |H| = 1), phase margin. ---
-  spice::AcSolver ac(circuit_.netlist, op);
+  ac_->prepare(op);
   auto transfer = [&](double freq,
                       std::complex<double>* h) -> spice::SolveStatus {
-    const spice::SolveStatus status = ac.solve(freq);
+    const spice::SolveStatus status = ac_->solve(freq);
     if (status == spice::SolveStatus::kOk) {
-      *h = ac.differential(circuit_.outp, circuit_.outn);
+      *h = ac_->differential(circuit_.outp, circuit_.outn);
     }
     return status;
   };

@@ -32,6 +32,11 @@ struct EvalOptions {
   /// Transient solver controls; t_stop is overridden per topology by its
   /// StepStimulus horizon.
   spice::TranOptions tran;
+  /// Linear-solve backend for all of a Session's solvers.  Perturbing model
+  /// cards never changes the MNA pattern, so on the sparse backend one
+  /// symbolic analysis per solver serves every process sample the Session
+  /// evaluates.
+  spice::SolverBackend backend = spice::SolverBackend::kAuto;
 };
 
 class AmplifierEvaluator {
@@ -64,6 +69,9 @@ class AmplifierEvaluator {
     BuiltCircuit circuit_;
     std::vector<spice::MosModel> base_cards_;
     std::unique_ptr<spice::DcSolver> dc_;
+    /// One AC solver for the whole session: prepare(op) per sample keeps
+    /// the assembled-system pattern and its symbolic factorization warm.
+    std::unique_ptr<spice::AcSolver> ac_;
     std::vector<double> nominal_solution_;
     bool have_nominal_solution_ = false;
     Performance nominal_perf_;

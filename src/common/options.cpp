@@ -79,6 +79,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else if (consume(arg, "--threads=", &value)) {
       options.threads = std::atoi(std::string(value).c_str());
+    } else if (consume(arg, "--json=", &value)) {
+      options.json = std::string(value);
     } else if (arg == "--transient") {
       options.transient = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -88,7 +90,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       // Benches print their own usage; rethrow as a sentinel.
       throw InvalidArgument(
           "usage: [--scale=smoke|default|full] [--runs=N] [--ref=N] "
-          "[--seed=N] [--threads=N] [--transient] [--verbose]");
+          "[--seed=N] [--threads=N] [--json=PATH] [--transient] [--verbose]");
     } else {
       throw InvalidArgument("unknown argument: " + std::string(arg));
     }

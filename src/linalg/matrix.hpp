@@ -1,9 +1,9 @@
 // Dense row-major matrix and vector types used by the MNA solver, the
 // Levenberg-Marquardt trainer and the least-squares fits.
 //
-// Circuit matrices here are small (tens of unknowns), so a simple dense
-// representation with LU factorization is both adequate and cache-friendly;
-// no sparse machinery is required at this scale.
+// Small circuit matrices (tens of unknowns) stay on this dense
+// representation, where LU's constant factors beat any sparse scheme;
+// larger MNA systems use src/linalg/sparse.hpp (see spice::SolverBackend).
 #pragma once
 
 #include <complex>

@@ -16,11 +16,10 @@ const char* to_string(SolveStatus status) {
   return "?";
 }
 
-DcSolver::DcSolver(const Netlist& netlist)
+DcSolver::DcSolver(const Netlist& netlist, SolverBackend backend)
     : netlist_(netlist), layout_(netlist) {
   netlist.validate();
-  a_.reset(layout_.size(), layout_.size());
-  rhs_.assign(layout_.size(), 0.0);
+  sys_.reset(layout_.size(), backend);
 }
 
 void stamp_linear_static(const Netlist& netlist, const MnaLayout& layout,
@@ -146,14 +145,14 @@ SolveStatus DcSolver::newton_loop(const DcOptions& options, double gmin,
   std::vector<double> x_new(n);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     ++last_iterations_;
-    a_.fill(0.0);
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    Stamper<double> stamper(a_, rhs_);
+    sys_.begin_assembly();
+    Stamper<double> stamper(sys_);
     stamp_linear(stamper, gmin, source_scale);
     stamp_mosfets(stamper, x);
-    x_new = rhs_;
-    if (!lu_.factor(a_)) return SolveStatus::kSingular;
-    lu_.solve(x_new);
+    sys_.end_assembly();
+    x_new = sys_.rhs();
+    if (!sys_.factor()) return SolveStatus::kSingular;
+    sys_.solve(x_new);
 
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {

@@ -67,7 +67,12 @@ struct OperatingPoint {
 
 class DcSolver {
  public:
-  explicit DcSolver(const Netlist& netlist);
+  /// `backend` selects the linear-solve path (kAuto: dense below
+  /// kSparseAutoThreshold unknowns, sparse above).  The sparse backend's
+  /// symbolic analysis is computed once per netlist pattern and reused by
+  /// every Newton iteration and every solve() call on this instance.
+  explicit DcSolver(const Netlist& netlist,
+                    SolverBackend backend = SolverBackend::kAuto);
 
   /// Solves for the operating point.  If `warm_start` is non-null and sized
   /// correctly it seeds the Newton iteration (and receives the solution).
@@ -76,6 +81,8 @@ class DcSolver {
 
   const OperatingPoint& op() const { return op_; }
   const MnaLayout& layout() const { return layout_; }
+  /// Resolved linear-solve backend (never kAuto).
+  SolverBackend backend() const { return sys_.backend(); }
 
   /// Newton iterations used by the last solve (across all continuation
   /// stages); exposed for diagnostics and the micro benches.
@@ -93,9 +100,7 @@ class DcSolver {
 
   const Netlist& netlist_;
   MnaLayout layout_;
-  linalg::MatrixD a_;
-  std::vector<double> rhs_;
-  linalg::LuSolver<double> lu_;
+  MnaSystem<double> sys_;
   OperatingPoint op_;
   int last_iterations_ = 0;
 };

@@ -1,5 +1,9 @@
 #include "src/spice/mna.hpp"
 
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
 namespace moheco::spice {
 
 MnaLayout::MnaLayout(const Netlist& netlist) {
@@ -19,5 +23,102 @@ MnaLayout::MnaLayout(const Netlist& netlist) {
   }
   size_ = next;
 }
+
+const char* to_string(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kDense: return "dense";
+    case SolverBackend::kSparse: return "sparse";
+    case SolverBackend::kAuto: return "auto";
+  }
+  return "?";
+}
+
+SolverBackend resolve_backend(SolverBackend requested, std::size_t n) {
+  if (requested != SolverBackend::kAuto) return requested;
+  return n >= kSparseAutoThreshold ? SolverBackend::kSparse
+                                   : SolverBackend::kDense;
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::reset(std::size_t n, SolverBackend backend) {
+  n_ = n;
+  sparse_ = resolve_backend(backend, n) == SolverBackend::kSparse;
+  pattern_ready_ = false;
+  rhs_.assign(n, Scalar{});
+  if (sparse_) {
+    builder_.reset(n);
+    capture_values_.clear();
+    slots_.clear();
+    sparse_a_ = {};
+    sparse_lu_ = {};
+  } else {
+    dense_a_.reset(n, n);
+  }
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::begin_assembly() {
+  std::fill(rhs_.begin(), rhs_.end(), Scalar{});
+  if (!sparse_) {
+    dense_a_.fill(Scalar{});
+    return;
+  }
+  cursor_ = 0;
+  if (pattern_ready_) sparse_a_.clear_values();
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::add(int r, int c, Scalar v) {
+  if (!sparse_) {
+    dense_a_(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+    return;
+  }
+  if (!pattern_ready_) {
+    builder_.add(r, c);
+    capture_values_.push_back(v);
+    return;
+  }
+  require(cursor_ < slots_.size(),
+          "MnaSystem: stamp sequence grew beyond the captured pattern");
+  sparse_a_.value(slots_[cursor_++]) += v;
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::end_assembly() {
+  if (!sparse_) return;
+  if (!pattern_ready_) {
+    sparse_a_ = builder_.template finalize<Scalar>(&slots_);
+    for (std::size_t i = 0; i < capture_values_.size(); ++i) {
+      sparse_a_.value(slots_[i]) += capture_values_[i];
+    }
+    capture_values_.clear();
+    capture_values_.shrink_to_fit();
+    builder_.reset(0);
+    pattern_ready_ = true;
+    return;
+  }
+  // Slot replay only works when every assembly stamps the same sequence.
+  require(cursor_ == slots_.size(),
+          "MnaSystem: stamp sequence diverged from the captured pattern");
+}
+
+template <typename Scalar>
+bool MnaSystem<Scalar>::factor() {
+  if (!sparse_) return dense_lu_.factor(dense_a_);
+  require(pattern_ready_, "MnaSystem::factor: no assembly captured");
+  return sparse_lu_.factor_with_reuse(sparse_a_);
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::solve(std::vector<Scalar>& b) const {
+  if (!sparse_) {
+    dense_lu_.solve(b);
+  } else {
+    sparse_lu_.solve(b);
+  }
+}
+
+template class MnaSystem<double>;
+template class MnaSystem<std::complex<double>>;
 
 }  // namespace moheco::spice

@@ -8,11 +8,10 @@
 
 namespace moheco::spice {
 
-TranSolver::TranSolver(const Netlist& netlist)
+TranSolver::TranSolver(const Netlist& netlist, SolverBackend backend)
     : netlist_(netlist), layout_(netlist) {
   netlist.validate();
-  a_.reset(layout_.size(), layout_.size());
-  rhs_.assign(layout_.size(), 0.0);
+  sys_.reset(layout_.size(), backend);
   inductor_v_prev_.assign(netlist.inductors().size(), 0.0);
 }
 
@@ -135,16 +134,16 @@ SolveStatus TranSolver::newton_step(const TranOptions& options, double t_new,
   std::vector<double> x_new(n);
   for (int iteration = 0; iteration < dc.max_iterations; ++iteration) {
     ++stats_.newton_iterations;
-    a_.fill(0.0);
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    Stamper<double> stamper(a_, rhs_);
+    sys_.begin_assembly();
+    Stamper<double> stamper(sys_);
     stamp_linear_static(netlist_, layout_, stamper, dc.gmin,
                         /*source_scale=*/1.0, t_new);
     stamp_companions(stamper, h, trapezoidal);
     stamp_mosfets_large_signal(netlist_, layout_, stamper, x);
-    x_new = rhs_;
-    if (!lu_.factor(a_)) return SolveStatus::kSingular;
-    lu_.solve(x_new);
+    sys_.end_assembly();
+    x_new = sys_.rhs();
+    if (!sys_.factor()) return SolveStatus::kSingular;
+    sys_.solve(x_new);
 
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {

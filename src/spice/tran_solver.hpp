@@ -57,7 +57,11 @@ struct TranStats {
 /// perturbation); workspace and layout are allocated once.
 class TranSolver {
  public:
-  explicit TranSolver(const Netlist& netlist);
+  /// `backend` selects the linear-solve path (see SolverBackend); the
+  /// sparse backend's symbolic analysis is shared by every timestep's
+  /// Newton iterations and every run() on this instance.
+  explicit TranSolver(const Netlist& netlist,
+                      SolverBackend backend = SolverBackend::kAuto);
 
   /// Integrates from t = 0 to options.t_stop.  If `initial_op` is non-null
   /// and sized layout().size() it is used as the t = 0 state (it must be a
@@ -68,6 +72,8 @@ class TranSolver {
 
   const MnaLayout& layout() const { return layout_; }
   const TranStats& stats() const { return stats_; }
+  /// Resolved linear-solve backend (never kAuto).
+  SolverBackend backend() const { return sys_.backend(); }
 
   /// Accepted time points (time()[0] == 0) and node voltages.
   const std::vector<double>& time() const { return time_; }
@@ -103,9 +109,7 @@ class TranSolver {
 
   const Netlist& netlist_;
   MnaLayout layout_;
-  linalg::MatrixD a_;
-  std::vector<double> rhs_;
-  linalg::LuSolver<double> lu_;
+  MnaSystem<double> sys_;
 
   std::vector<CapState> caps_;
   std::vector<double> inductor_v_prev_;  ///< V(n1)-V(n2) at last accepted

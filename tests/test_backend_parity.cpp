@@ -1,0 +1,213 @@
+// Property tests: the dense and sparse linear-solve backends must agree to
+// tight tolerance on the same MNA systems -- randomized conductance-stamped
+// networks (real and complex AC), the generated scaling netlists, and the
+// three amplifier topologies' nominal DC solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "src/circuits/topology.hpp"
+#include "src/spice/ac_solver.hpp"
+#include "src/spice/dc_solver.hpp"
+#include "src/spice/mna.hpp"
+#include "src/spice/netlist.hpp"
+#include "src/spice/netlist_gen.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::spice {
+namespace {
+
+/// Random connected resistor network with current-source drives: a chain
+/// guarantees connectivity, extra random edges give the pattern genuine
+/// off-band structure.
+Netlist random_conductance_network(int nodes, int extra_edges,
+                                   std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Netlist netlist;
+  std::vector<NodeId> ids(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    ids[static_cast<std::size_t>(i)] = netlist.node("n" + std::to_string(i));
+  }
+  auto rand_node = [&]() {
+    return ids[static_cast<std::size_t>(rng.uniform() * nodes) % nodes];
+  };
+  netlist.add_resistor("rg0", ids[0], 0, 1e3 * (0.5 + rng.uniform()));
+  for (int i = 1; i < nodes; ++i) {
+    netlist.add_resistor("rc" + std::to_string(i),
+                         ids[static_cast<std::size_t>(i - 1)],
+                         ids[static_cast<std::size_t>(i)],
+                         1e3 * (0.5 + rng.uniform()));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    NodeId a = rand_node();
+    NodeId b = rand_node();
+    if (a == b) b = 0;
+    netlist.add_resistor("re" + std::to_string(e), a, b,
+                         1e3 * (0.5 + rng.uniform()));
+    // A capacitor on a subset of the extra edges exercises the complex
+    // (AC) path with off-diagonal reactive stamps.
+    if (e % 3 == 0) {
+      netlist.add_capacitor("ce" + std::to_string(e), a, b,
+                            1e-12 * (0.5 + rng.uniform()));
+    }
+  }
+  for (int s = 0; s < std::max(1, nodes / 8); ++s) {
+    netlist.add_isource("i" + std::to_string(s), rand_node(), 0,
+                        1e-3 * (rng.uniform() - 0.5), /*ac_mag=*/1e-3);
+  }
+  return netlist;
+}
+
+class ConductanceParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConductanceParityTest, DcBackendsAgree) {
+  const int nodes = GetParam();
+  const Netlist netlist = random_conductance_network(
+      nodes, nodes / 2, 321 + static_cast<std::uint64_t>(nodes));
+  DcSolver dense(netlist, SolverBackend::kDense);
+  DcSolver sparse(netlist, SolverBackend::kSparse);
+  ASSERT_EQ(dense.backend(), SolverBackend::kDense);
+  ASSERT_EQ(sparse.backend(), SolverBackend::kSparse);
+  ASSERT_EQ(dense.solve(DcOptions{}), SolveStatus::kOk);
+  ASSERT_EQ(sparse.solve(DcOptions{}), SolveStatus::kOk);
+  const auto& xd = dense.op().solution;
+  const auto& xs = sparse.op().solution;
+  ASSERT_EQ(xd.size(), xs.size());
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    EXPECT_NEAR(xd[i], xs[i], 1e-10 * std::max(1.0, std::fabs(xd[i])));
+  }
+}
+
+TEST_P(ConductanceParityTest, AcBackendsAgree) {
+  const int nodes = GetParam();
+  const Netlist netlist = random_conductance_network(
+      nodes, nodes / 2, 654 + static_cast<std::uint64_t>(nodes));
+  DcSolver dc(netlist);
+  ASSERT_EQ(dc.solve(DcOptions{}), SolveStatus::kOk);
+  AcSolver dense(netlist, dc.op(), SolverBackend::kDense);
+  AcSolver sparse(netlist, dc.op(), SolverBackend::kSparse);
+  for (double freq : {1e3, 1e6, 1e9}) {
+    ASSERT_EQ(dense.solve(freq), SolveStatus::kOk);
+    ASSERT_EQ(sparse.solve(freq), SolveStatus::kOk);
+    for (int n = 1; n <= netlist.num_nodes(); ++n) {
+      const std::complex<double> vd = dense.voltage(n);
+      const std::complex<double> vs = sparse.voltage(n);
+      EXPECT_NEAR(std::abs(vd - vs), 0.0, 1e-10 * std::max(1.0, std::abs(vd)))
+          << "node " << n << " at " << freq << " Hz";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConductanceParityTest,
+                         ::testing::Values(5, 17, 40, 90, 200));
+
+TEST(BackendParity, RcLadderMatchesAnalyticDc) {
+  LadderSpec spec;
+  spec.sections = 300;
+  const Netlist netlist = make_rc_ladder(spec);
+  for (const SolverBackend backend :
+       {SolverBackend::kDense, SolverBackend::kSparse}) {
+    DcSolver solver(netlist, backend);
+    ASSERT_EQ(solver.solve(DcOptions{}), SolveStatus::kOk);
+    // gmin shunts perturb the divider at the ~1e-6 level; compare there.
+    for (int k : {1, 50, 150, 300}) {
+      const NodeId n = k + 1;  // node "nk": "in" is id 1, "n1" is id 2, ...
+      EXPECT_NEAR(solver.op().node_voltage[n], rc_ladder_dc_voltage(spec, k),
+                  1e-4)
+          << to_string(backend) << " section " << k;
+    }
+  }
+}
+
+TEST(BackendParity, RcGridBackendsAgreeDcAndAc) {
+  GridSpec spec;
+  spec.rows = 12;
+  spec.cols = 12;
+  const Netlist netlist = make_rc_grid(spec);
+  DcSolver dense(netlist, SolverBackend::kDense);
+  DcSolver sparse(netlist, SolverBackend::kSparse);
+  ASSERT_EQ(dense.solve(DcOptions{}), SolveStatus::kOk);
+  ASSERT_EQ(sparse.solve(DcOptions{}), SolveStatus::kOk);
+  for (std::size_t i = 0; i < dense.op().solution.size(); ++i) {
+    EXPECT_NEAR(dense.op().solution[i], sparse.op().solution[i], 1e-10);
+  }
+  AcSolver ac_dense(netlist, dense.op(), SolverBackend::kDense);
+  AcSolver ac_sparse(netlist, dense.op(), SolverBackend::kSparse);
+  for (double freq : {1e4, 1e7, 1e10}) {
+    ASSERT_EQ(ac_dense.solve(freq), SolveStatus::kOk);
+    ASSERT_EQ(ac_sparse.solve(freq), SolveStatus::kOk);
+    for (int n = 1; n <= netlist.num_nodes(); ++n) {
+      EXPECT_NEAR(std::abs(ac_dense.voltage(n) - ac_sparse.voltage(n)), 0.0,
+                  1e-10);
+    }
+  }
+}
+
+// --- amplifier topologies: nominal DC under both backends ----------------
+
+struct TopologyCase {
+  const char* name;
+  std::shared_ptr<const circuits::Topology> (*make)();
+  std::vector<double> x0;
+};
+
+std::vector<TopologyCase> amplifier_cases() {
+  return {
+      {"five_t_ota", circuits::make_five_transistor_ota,
+       {60e-6, 40e-6, 20e-6, 0.7e-6, 0.85}},
+      {"folded_cascode", circuits::make_folded_cascode,
+       {260e-6, 105e-6, 160e-6, 160e-6, 100e-6, 0.7e-6, 0.5e-6, 1.0e-6,
+        38e-6, 4.6, 1.9}},
+      {"two_stage_telescopic", circuits::make_two_stage_telescopic,
+       {50e-6, 40e-6, 60e-6, 80e-6, 40e-6, 100e-6, 0.2e-6, 0.2e-6, 0.15e-6,
+        5.0e-5, 4.0, 1.1e-12, 300.0}},
+  };
+}
+
+TEST(BackendParity, AmplifierNominalDcSolvesAgree) {
+  for (const TopologyCase& tc : amplifier_cases()) {
+    const circuits::BuiltCircuit circuit = tc.make()->build(tc.x0);
+    // Tight Newton tolerances so both backends converge to the root well
+    // below the 1e-10 comparison threshold.
+    DcOptions options;
+    options.v_tol = 1e-9;
+    options.rel_tol = 1e-9;
+    options.i_tol = 1e-12;
+    DcSolver dense(circuit.netlist, SolverBackend::kDense);
+    DcSolver sparse(circuit.netlist, SolverBackend::kSparse);
+    ASSERT_EQ(dense.solve(options), SolveStatus::kOk) << tc.name;
+    ASSERT_EQ(sparse.solve(options), SolveStatus::kOk) << tc.name;
+    const auto& xd = dense.op().solution;
+    const auto& xs = sparse.op().solution;
+    ASSERT_EQ(xd.size(), xs.size()) << tc.name;
+    for (std::size_t i = 0; i < xd.size(); ++i) {
+      EXPECT_NEAR(xd[i], xs[i], 1e-10 * std::max(1.0, std::fabs(xd[i])))
+          << tc.name << " unknown " << i;
+    }
+  }
+}
+
+TEST(BackendParity, AmplifierAcTransferAgrees) {
+  const TopologyCase tc = amplifier_cases()[1];  // folded cascode
+  const circuits::BuiltCircuit circuit = tc.make()->build(tc.x0);
+  DcSolver dc(circuit.netlist);
+  ASSERT_EQ(dc.solve(DcOptions{}), SolveStatus::kOk);
+  AcSolver dense(circuit.netlist, dc.op(), SolverBackend::kDense);
+  AcSolver sparse(circuit.netlist, dc.op(), SolverBackend::kSparse);
+  for (double freq : {10.0, 1e4, 1e7, 1e9}) {
+    ASSERT_EQ(dense.solve(freq), SolveStatus::kOk);
+    ASSERT_EQ(sparse.solve(freq), SolveStatus::kOk);
+    const std::complex<double> hd =
+        dense.differential(circuit.outp, circuit.outn);
+    const std::complex<double> hs =
+        sparse.differential(circuit.outp, circuit.outn);
+    EXPECT_NEAR(std::abs(hd - hs), 0.0, 1e-10 * std::max(1.0, std::abs(hd)))
+        << "freq " << freq;
+  }
+}
+
+}  // namespace
+}  // namespace moheco::spice
