@@ -25,8 +25,11 @@ int main(int argc, char** argv) {
 
   Table table({"budget (sims/arm avg)", "equal allocation", "OCBA",
                "OCBA advantage"});
+  std::string json_rows;
   for (int budget_per_arm : {25, 35, 50, 80}) {
     int correct_equal = 0, correct_ocba = 0;
+    long long equal_sims = 0;
+    SimBreakdown ocba_breakdown;
     for (int rep = 0; rep < reps; ++rep) {
       // Equal allocation.
       {
@@ -35,8 +38,7 @@ int main(int argc, char** argv) {
         SimCounter sims;
         for (std::size_t i = 0; i < arms; ++i) {
           CandidateYield c(problem, {static_cast<double>(i)},
-                           stats::derive_seed(options.seed, rep, i),
-                           pool.num_workers());
+                           stats::derive_seed(options.seed, rep, i));
           c.refine(budget_per_arm, pool, sims, pmc);
           if (c.mean() > best_mean) {
             best_mean = c.mean();
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
           }
         }
         if (best == 4) ++correct_equal;
+        equal_sims += sims.total();
       }
       // OCBA at the same total budget.
       {
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < arms; ++i) {
           owners.push_back(std::make_unique<CandidateYield>(
               problem, std::vector<double>{static_cast<double>(i)},
-              stats::derive_seed(options.seed, rep, i), pool.num_workers()));
+              stats::derive_seed(options.seed, rep, i)));
           cands.push_back(owners.back().get());
         }
         TwoStageOptions two_stage;
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
           if (owners[i]->mean() > owners[best]->mean()) best = i;
         }
         if (best == 4) ++correct_ocba;
+        ocba_breakdown += sims.breakdown();
       }
     }
     char eq[32], oc[32], adv[32];
@@ -76,10 +80,25 @@ int main(int argc, char** argv) {
     std::snprintf(adv, sizeof(adv), "%+.1f pts",
                   100.0 * (correct_ocba - correct_equal) / reps);
     table.add_row({std::to_string(budget_per_arm), eq, oc, adv});
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"budget_per_arm\":%d,\"p_correct_equal\":%.4f,"
+                  "\"p_correct_ocba\":%.4f,\"equal_sims\":%lld,"
+                  "\"ocba_sims\":",
+                  json_rows.empty() ? "" : ",", budget_per_arm,
+                  static_cast<double>(correct_equal) / reps,
+                  static_cast<double>(correct_ocba) / reps, equal_sims);
+    json_rows += row;
+    json_rows += bench::json_sim_breakdown(ocba_breakdown);
+    json_rows += "}";
   }
   table.print(std::cout,
               "P[select the true best of 10 Bernoulli designs], " +
                   std::to_string(reps) + " repetitions");
   std::cout << "expected: OCBA above equal allocation at every budget\n";
+  if (!bench::write_bench_json(options.json, "bench_ablation_ocba",
+                               "\"budgets\":[" + json_rows + "]")) {
+    return 1;
+  }
   return 0;
 }

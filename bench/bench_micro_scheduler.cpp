@@ -1,0 +1,257 @@
+// Micro benchmark for the generation-wide EvalScheduler: throughput of the
+// two scheduling shapes on identical work.
+//
+//   - per-candidate: CandidateYield-style refine() per candidate per round
+//     (the pre-scheduler shape: every candidate's increment is a pool-wide
+//     barrier over a tiny batch).
+//   - batched: all candidates' increments of a round enqueued on one
+//     EvalScheduler and flushed as a single chunked job set.
+//
+// Rounds mimic the OCBA stage-1 loop at a small delta (delta = S, i.e. ~1
+// sample per candidate per round -- the worst case for barriers) and a
+// large delta (16 samples per candidate per round), across worker counts.
+//
+// Doubles as a correctness gate: both paths must produce bit-identical
+// tallies (and identical across worker counts), the batched path must keep
+// peak live sessions within sessions_per_worker * workers (instead of the
+// S * W the per-candidate path pins), and at 8 workers the batched path
+// must beat per-candidate by >= 2x at delta = S; violations exit non-zero
+// so CI fails.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/table.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using namespace moheco;
+
+inline void keep(double& value) { asm volatile("" : "+m"(value)); }
+
+/// Quadratic-margin pass/fail with a tunable amount of dependent FP work
+/// per evaluation, standing in for a DC+AC circuit solve (~microseconds).
+class SpinYieldProblem final : public mc::YieldProblem {
+ public:
+  SpinYieldProblem(int spin, double sigma) : spin_(spin), sigma_(sigma) {}
+
+  std::size_t num_design_vars() const override { return 1; }
+  double lower_bound(std::size_t) const override { return -2.0; }
+  double upper_bound(std::size_t) const override { return 2.0; }
+  std::size_t noise_dim() const override { return 4; }
+
+  class SpinSession final : public Session {
+   public:
+    SpinSession(double margin, double sigma, int spin)
+        : margin_(margin), sigma_(sigma), spin_(spin) {}
+
+    mc::SampleResult evaluate(std::span<const double> xi) override {
+      double w = 0.0;
+      for (double z : xi) w += z;
+      w *= 0.5;  // sum of 4 iid normals / sqrt(4)
+      double acc = margin_ + sigma_ * w;
+      for (int k = 0; k < spin_; ++k) acc += acc * 1e-12 + 1e-9;
+      keep(acc);
+      const double g = margin_ + sigma_ * w;
+      mc::SampleResult r;
+      r.pass = g >= 0.0;
+      r.violation = r.pass ? 0.0 : -g;
+      return r;
+    }
+
+   private:
+    double margin_;
+    double sigma_;
+    int spin_;
+  };
+
+  std::unique_ptr<Session> open(std::span<const double> x) const override {
+    return std::make_unique<SpinSession>(1.0 - x[0] * x[0], sigma_, spin_);
+  }
+
+ private:
+  int spin_;
+  double sigma_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<std::unique_ptr<mc::CandidateYield>> make_candidates(
+    const mc::YieldProblem& problem, int count, std::uint64_t seed) {
+  std::vector<std::unique_ptr<mc::CandidateYield>> candidates;
+  candidates.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double x = -1.5 + 3.0 * i / std::max(1, count - 1);
+    candidates.push_back(std::make_unique<mc::CandidateYield>(
+        problem, std::vector<double>{x},
+        stats::derive_seed(seed, 0x5C4ED, static_cast<std::uint64_t>(i))));
+  }
+  return candidates;
+}
+
+struct RunResult {
+  double samples_per_sec = 0.0;
+  std::size_t peak_sessions = 0;
+  std::vector<long long> passes;  ///< per-candidate tally (determinism key)
+};
+
+/// Runs `rounds` rounds of `per_candidate` samples for every candidate.
+/// batched=false replays the pre-scheduler shape: one enqueue+flush (=
+/// pool barrier) per candidate per round, sessions pinned for all
+/// candidates; batched=true is one flush per round on an LRU-capped cache.
+RunResult run_rounds(const mc::YieldProblem& problem, int num_candidates,
+                     int rounds, int per_candidate, int workers, bool batched,
+                     std::uint64_t seed) {
+  ThreadPool pool(workers);
+  mc::SchedulerOptions scheduler_options;
+  if (!batched) {
+    // Pin every candidate's session, as the per-candidate path did.
+    scheduler_options.sessions_per_worker = num_candidates;
+  }
+  mc::EvalScheduler scheduler(pool, scheduler_options);
+  auto candidates = make_candidates(problem, num_candidates, seed);
+  mc::SimCounter sims;
+  const mc::McOptions mc_options;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    if (batched) {
+      for (auto& c : candidates) {
+        scheduler.enqueue(*c, per_candidate, mc_options);
+      }
+      scheduler.flush(sims, mc::SimPhase::kOcba);
+    } else {
+      for (auto& c : candidates) {
+        scheduler.refine(*c, per_candidate, sims, mc_options,
+                         mc::SimPhase::kOcba);
+      }
+    }
+  }
+  const double elapsed = seconds_since(start);
+
+  RunResult result;
+  result.samples_per_sec = static_cast<double>(sims.total()) / elapsed;
+  result.peak_sessions = scheduler.peak_sessions();
+  for (const auto& c : candidates) result.passes.push_back(c->passes());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv, "Micro: per-candidate refine vs generation-batched "
+                  "EvalScheduler");
+  const bool smoke = options.scale == BenchScale::kSmoke;
+  const int num_candidates = smoke ? 48 : 64;
+  const int spin = 1200;  // a few us per evaluation (DC+AC solve stand-in)
+  const SpinYieldProblem problem(spin, 0.5);
+  const mc::SchedulerOptions default_options;
+
+  std::vector<int> worker_counts = smoke ? std::vector<int>{2, 8}
+                                         : std::vector<int>{1, 2, 4, 8};
+  struct Shape {
+    const char* name;
+    int per_candidate;  ///< samples per candidate per round
+    int rounds;
+  };
+  const Shape shapes[] = {
+      {"delta=S (1/cand/round)", 1, smoke ? 16 : 40},
+      {"delta=16S (16/cand/round)", 16, smoke ? 4 : 10},
+  };
+
+  Table table({"round shape", "workers", "per-cand samp/s", "batched samp/s",
+               "speedup", "peak sessions (batched)", "pinned (per-cand)"});
+  bool ok = true;
+  std::string json_rows;
+  std::vector<long long> reference_passes;  // shared across all runs: the
+                                            // tally is worker/path invariant
+  for (const Shape& shape : shapes) {
+    for (int workers : worker_counts) {
+      const RunResult per_candidate =
+          run_rounds(problem, num_candidates, shape.rounds,
+                     shape.per_candidate, workers, /*batched=*/false,
+                     options.seed);
+      const RunResult batched =
+          run_rounds(problem, num_candidates, shape.rounds,
+                     shape.per_candidate, workers, /*batched=*/true,
+                     options.seed);
+
+      if (per_candidate.passes != batched.passes) {
+        std::fprintf(stderr,
+                     "FAIL %s @%d workers: batched tallies differ from "
+                     "per-candidate tallies\n",
+                     shape.name, workers);
+        ok = false;
+      }
+      if (reference_passes.empty()) reference_passes = batched.passes;
+      if (shape.per_candidate == shapes[0].per_candidate &&
+          shape.rounds == shapes[0].rounds &&
+          batched.passes != reference_passes) {
+        std::fprintf(stderr,
+                     "FAIL %s @%d workers: tallies depend on worker count\n",
+                     shape.name, workers);
+        ok = false;
+      }
+      const std::size_t session_bound = static_cast<std::size_t>(
+          default_options.sessions_per_worker * workers);
+      if (batched.peak_sessions > session_bound) {
+        std::fprintf(stderr,
+                     "FAIL %s @%d workers: peak sessions %zu exceeds cache "
+                     "bound %zu\n",
+                     shape.name, workers, batched.peak_sessions,
+                     session_bound);
+        ok = false;
+      }
+      const double speedup =
+          batched.samples_per_sec / per_candidate.samples_per_sec;
+      if (shape.per_candidate == 1 && workers == 8 && speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL %s @8 workers: batched speedup %.2fx < 2x\n",
+                     shape.name, speedup);
+        ok = false;
+      }
+
+      char pc[32], ba[32], sp[32];
+      std::snprintf(pc, sizeof(pc), "%.3g", per_candidate.samples_per_sec);
+      std::snprintf(ba, sizeof(ba), "%.3g", batched.samples_per_sec);
+      std::snprintf(sp, sizeof(sp), "%.1fx", speedup);
+      table.add_row({shape.name, std::to_string(workers), pc, ba, sp,
+                     std::to_string(batched.peak_sessions),
+                     std::to_string(num_candidates * workers)});
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "%s{\"shape\":\"%s\",\"workers\":%d,\"candidates\":%d,"
+          "\"per_candidate_sps\":%.1f,\"batched_sps\":%.1f,\"speedup\":%.2f,"
+          "\"peak_sessions\":%zu,\"session_bound\":%zu,"
+          "\"pinned_sessions\":%d}",
+          json_rows.empty() ? "" : ",", shape.name, workers, num_candidates,
+          per_candidate.samples_per_sec, batched.samples_per_sec, speedup,
+          batched.peak_sessions, session_bound, num_candidates * workers);
+      json_rows += row;
+    }
+  }
+  table.print(std::cout, "per-candidate refine() vs batched EvalScheduler (" +
+                             std::to_string(num_candidates) + " candidates)");
+  std::cout << "gates: identical tallies, peak sessions <= cache bound, "
+               ">=2x at delta=S with 8 workers\n";
+
+  if (!bench::write_bench_json(options.json, "bench_micro_scheduler",
+                               "\"scenarios\":[" + json_rows + "]")) {
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

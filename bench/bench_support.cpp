@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "src/common/log.hpp"
@@ -169,6 +170,29 @@ BenchOptions bench_prologue(int argc, char** argv, const std::string& name) {
                  "paper-scale protocol (10 runs, 50k reference MC)\n";
   }
   return options;
+}
+
+std::string json_sim_breakdown(const mc::SimBreakdown& breakdown) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"screen\":%lld,\"stage1\":%lld,\"ocba\":%lld,"
+                "\"stage2\":%lld,\"other\":%lld,\"total\":%lld}",
+                breakdown.screen, breakdown.stage1, breakdown.ocba,
+                breakdown.stage2, breakdown.other, breakdown.total());
+  return buffer;
+}
+
+bool write_bench_json(const std::string& path, const std::string& bench,
+                      const std::string& body) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  out << "{\"" << bench << "\":{" << body << "}}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace moheco::bench

@@ -73,4 +73,14 @@ void print_cost_table(const StudyData& data,
 /// std::nullopt (and prints usage) when --help was requested.
 BenchOptions bench_prologue(int argc, char** argv, const std::string& name);
 
+/// JSON object fragment for a per-phase simulation breakdown:
+/// {"screen":N,"stage1":N,"ocba":N,"stage2":N,"other":N,"total":N}.
+std::string json_sim_breakdown(const mc::SimBreakdown& breakdown);
+
+/// Writes `body` (a JSON object's contents, without the outer braces) to
+/// `path` wrapped as {"<bench>":{<body>}}.  No-op when path is empty;
+/// returns false (and warns on stderr) when the write fails.
+bool write_bench_json(const std::string& path, const std::string& bench,
+                      const std::string& body);
+
 }  // namespace moheco::bench

@@ -21,8 +21,7 @@ int main() {
   std::vector<CandidateYield*> candidates;
   for (std::size_t i = 0; i < problem.yields().size(); ++i) {
     owners.push_back(std::make_unique<CandidateYield>(
-        problem, std::vector<double>{static_cast<double>(i)}, 1000 + i,
-        pool.num_workers()));
+        problem, std::vector<double>{static_cast<double>(i)}, 1000 + i));
     candidates.push_back(owners.back().get());
   }
 

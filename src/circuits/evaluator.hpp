@@ -6,7 +6,15 @@
 // point, and then evaluates process samples by perturbing the device model
 // cards in place (topology and MNA layout never change), warm-starting each
 // DC solve from the nominal solution.  Sessions are independent, so the
-// Monte-Carlo driver gives each worker thread its own session.
+// Monte-Carlo driver evaluates them concurrently from its worker threads.
+//
+// Sessions satisfy the mc::YieldProblem session-cache contract: all warm
+// starts (DC solution, GBW crossing seed) come from the *nominal* point
+// computed at construction, never from previously evaluated samples, so a
+// sample's result is a pure function of (x, xi) and the mc::EvalScheduler
+// may cache, evict, and reopen sessions freely.  The price of the contract
+// is that a session cache miss re-runs the nominal measurement (one DC+AC
+// solve, plus the step-bench transient when enabled) in the constructor.
 #pragma once
 
 #include <memory>

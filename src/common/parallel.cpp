@@ -1,5 +1,6 @@
 #include "src/common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -16,6 +17,7 @@ struct ThreadPool::Impl {
   std::condition_variable cv_done;
   const std::function<void(int, std::size_t)>* fn = nullptr;
   std::size_t count = 0;
+  std::size_t grain = 1;
   std::atomic<std::size_t> next{0};
   std::size_t generation = 0;
   int active = 0;
@@ -34,13 +36,17 @@ struct ThreadPool::Impl {
         seen_generation = generation;
       }
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
-        try {
-          (*fn)(id, i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (!error) error = std::current_exception();
+        const std::size_t base =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (base >= count) break;
+        const std::size_t end = std::min(count, base + grain);
+        for (std::size_t i = base; i < end; ++i) {
+          try {
+            (*fn)(id, i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error) error = std::current_exception();
+          }
         }
       }
       {
@@ -72,13 +78,21 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
-void ThreadPool::parallel_for(
-    std::size_t count, const std::function<void(int, std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(int, std::size_t)>& fn,
+                              std::size_t grain) {
   if (count == 0) return;
+  if (grain == 0) {
+    // Roughly 8 claims per worker balances counter traffic against tail
+    // imbalance; the cap keeps one oversized range from starving the pool.
+    grain = std::clamp<std::size_t>(
+        count / (8 * static_cast<std::size_t>(num_workers_)), 1, 1024);
+  }
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->fn = &fn;
     impl_->count = count;
+    impl_->grain = grain;
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->active = num_workers_;
@@ -89,6 +103,13 @@ void ThreadPool::parallel_for(
   impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
   impl_->fn = nullptr;
   if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+void ThreadPool::run_tasks(std::span<const std::function<void(int)>> tasks) {
+  if (tasks.empty()) return;
+  parallel_for(
+      tasks.size(), [&tasks](int worker, std::size_t i) { tasks[i](worker); },
+      /*grain=*/1);
 }
 
 }  // namespace moheco

@@ -1,14 +1,22 @@
-// Minimal worker pool for Monte-Carlo batch evaluation.
+// Worker pool for Monte-Carlo batch evaluation.
 //
-// Work items are claimed from an atomic counter, but each worker passes its
-// stable worker id to the callback so callers can keep per-worker state
-// (e.g. one circuit-simulation session per worker per candidate).  Results
-// must be written to per-item slots (or accumulated with atomics) so the
-// outcome is independent of scheduling.
+// Two entry points share one set of persistent workers:
+//   - parallel_for(count, fn): a homogeneous index range.  Workers claim
+//     contiguous chunks of indices from an atomic counter (not one index at
+//     a time), so cheap per-item work does not serialize on the counter.
+//   - run_tasks(tasks): a heterogeneous job set (e.g. one generation's
+//     evaluation batches across many candidates), claimed one task at a
+//     time in submission order.
+//
+// Each worker passes its stable worker id to the callback so callers can
+// keep per-worker state (e.g. the EvalScheduler's per-worker session
+// caches).  Results must be written to per-item slots (or accumulated with
+// atomics) so the outcome is independent of scheduling.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <span>
 
 namespace moheco {
 
@@ -25,9 +33,18 @@ class ThreadPool {
 
   /// Runs fn(worker_id, index) for every index in [0, count); blocks until
   /// all items finish.  fn must be thread-safe across distinct indices.
-  /// Exceptions thrown by fn are rethrown (first one wins).
+  /// `grain` is the number of indices claimed per atomic increment; 0 picks
+  /// one automatically from count and the worker count.  Exceptions thrown
+  /// by fn are rethrown (first one wins).
   void parallel_for(std::size_t count,
-                    const std::function<void(int, std::size_t)>& fn);
+                    const std::function<void(int, std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Task-submission API: runs every task(worker_id) exactly once; blocks
+  /// until all tasks finish.  Tasks are claimed one at a time in submission
+  /// order, so expensive tasks placed first overlap the cheap tail.
+  /// Exceptions thrown by tasks are rethrown (first one wins).
+  void run_tasks(std::span<const std::function<void(int)>> tasks);
 
  private:
   struct Impl;

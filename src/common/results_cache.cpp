@@ -1,5 +1,7 @@
 #include "src/common/results_cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -63,17 +65,37 @@ void ResultsCache::store(const std::string& key, const ResultMap& results) const
     log_warn("results cache: cannot create ", path_, ": ", ec.message());
     return;
   }
-  std::ofstream out(file_for(key));
-  if (!out) {
-    log_warn("results cache: cannot write ", file_for(key));
-    return;
+  // Write to a per-process temp file, then atomically rename into place:
+  // concurrently running bench binaries sharing the cache directory either
+  // see the old complete file or the new complete file, never a torn write.
+  const std::string final_path = file_for(key);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path);
+    if (!out) {
+      log_warn("results cache: cannot write ", tmp_path);
+      return;
+    }
+    out.precision(17);
+    out << "# moheco results cache, key=" << key << "\n";
+    for (const auto& [name, values] : results) {
+      out << name;
+      for (double v : values) out << ' ' << v;
+      out << '\n';
+    }
+    out.flush();
+    if (!out) {
+      log_warn("results cache: failed writing ", tmp_path);
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
   }
-  out.precision(17);
-  out << "# moheco results cache, key=" << key << "\n";
-  for (const auto& [name, values] : results) {
-    out << name;
-    for (double v : values) out << ' ' << v;
-    out << '\n';
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    log_warn("results cache: cannot rename ", tmp_path, " -> ", final_path,
+             ": ", ec.message());
+    std::filesystem::remove(tmp_path, ec);
   }
 }
 

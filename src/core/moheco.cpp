@@ -15,6 +15,7 @@ MohecoOptimizer::MohecoOptimizer(const mc::YieldProblem& problem,
     : problem_(&problem),
       options_(options),
       pool_(options.threads),
+      scheduler_(pool_, options.scheduler),
       rng_(stats::derive_seed(options.seed, 0xDE05)) {
   require(options_.population >= 4, "MohecoOptimizer: population must be >= 4");
   const std::size_t dim = problem.num_design_vars();
@@ -35,15 +36,17 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   candidates.reserve(count);
   for (const auto& x : xs) {
     candidates.push_back(std::make_shared<mc::CandidateYield>(
-        *problem_, x, stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_),
-        pool_.num_workers()));
+        *problem_, x,
+        stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_)));
   }
 
-  // Acceptance-sampling screen: nominal feasibility, in parallel across
-  // candidates (each touches only its own CandidateYield).
-  pool_.parallel_for(count, [&](int, std::size_t i) {
-    candidates[i]->screen_nominal(sims_);
-  });
+  // Acceptance-sampling screen: nominal feasibility of the whole generation
+  // as one batched task set on the scheduler (sessions opened here stay
+  // cached for the estimation below).
+  std::vector<mc::CandidateYield*> screen_batch;
+  screen_batch.reserve(count);
+  for (auto& c : candidates) screen_batch.push_back(c.get());
+  scheduler_.screen(screen_batch, sims_);
 
   // The OO candidate pool of this generation: feasible new candidates plus
   // the feasible current population (whose tallies persist and keep
@@ -57,7 +60,7 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     for (Member& m : population_) {
       if (m.tally) ocba_pool.push_back(m.tally.get());
     }
-    mc::two_stage_estimate(ocba_pool, options_.estimation, pool_, sims_);
+    mc::two_stage_estimate(ocba_pool, options_.estimation, scheduler_, sims_);
     // Refresh population fitness after refinement.
     for (Member& m : population_) {
       if (m.tally) {
@@ -66,10 +69,12 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
       }
     }
   } else {
+    // Fixed-budget baseline: still one generation-wide job set.
     for (mc::CandidateYield* c : ocba_pool) {
-      c->refine(options_.fixed_budget - c->samples(), pool_, sims_,
-                options_.estimation.mc);
+      scheduler_.enqueue(*c, options_.fixed_budget - c->samples(),
+                         options_.estimation.mc);
     }
+    scheduler_.flush(sims_);
   }
 
   std::vector<Evaluated> out(count);
@@ -77,18 +82,14 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     const mc::CandidateYield& c = *candidates[i];
     Evaluated& e = out[i];
     if (c.nominal_feasible()) {
-      e.fitness.feasible = true;
-      e.fitness.violation = 0.0;
-      e.fitness.yield = c.mean();
+      e.fitness = opt::feasible_fitness(c.mean());
       e.samples = c.samples();
       e.tally = candidates[i];
       if (trace != nullptr) {
         trace->data_points.emplace_back(c.x(), c.mean());
       }
     } else {
-      e.fitness.feasible = false;
-      e.fitness.violation = c.nominal_violation();
-      e.fitness.yield = 0.0;
+      e.fitness = opt::infeasible_fitness(c.nominal_violation());
       e.samples = 0;
     }
   }
@@ -105,21 +106,18 @@ MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
     std::span<const double> x) {
   auto candidate = std::make_shared<mc::CandidateYield>(
       *problem_, std::vector<double>(x.begin(), x.end()),
-      stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_),
-      pool_.num_workers());
-  candidate->screen_nominal(sims_);
+      stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_));
+  mc::CandidateYield* one[] = {candidate.get()};
+  scheduler_.screen(one, sims_);
   Evaluated e;
   if (!candidate->nominal_feasible()) {
-    e.fitness.feasible = false;
-    e.fitness.violation = candidate->nominal_violation();
+    e.fitness = opt::infeasible_fitness(candidate->nominal_violation());
     return e;
   }
   const int n_report =
       options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
-  candidate->refine(n_report, pool_, sims_, options_.estimation.mc);
-  e.fitness.feasible = true;
-  e.fitness.violation = 0.0;
-  e.fitness.yield = candidate->mean();
+  scheduler_.refine(*candidate, n_report, sims_, options_.estimation.mc);
+  e.fitness = opt::feasible_fitness(candidate->mean());
   e.samples = candidate->samples();
   e.tally = std::move(candidate);
   return e;
@@ -217,16 +215,16 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     GenerationTrace trace;
     trace.generation = gen;
 
-    // Steps 1-2: base vector selection + DE variation.
+    // Steps 1-2: base vector selection + DE variation.  The whole trial
+    // generation exists before any evaluation, so the screen and the
+    // estimation below batch across the population.
     const std::size_t best = best_index();
     std::vector<std::vector<double>> member_xs(population_.size());
     for (std::size_t i = 0; i < population_.size(); ++i) {
       member_xs[i] = population_[i].x;
     }
-    std::vector<std::vector<double>> trials(population_.size());
-    for (std::size_t i = 0; i < population_.size(); ++i) {
-      trials[i] = opt::de_trial(member_xs, i, best, options_.de, bounds_, rng_);
-    }
+    std::vector<std::vector<double>> trials =
+        opt::de_generation(member_xs, best, options_.de, bounds_, rng_);
 
     // Steps 3-7: screening + two-stage (or fixed-budget) estimation.
     evaluated = evaluate_batch(trials, &trace);
@@ -291,8 +289,8 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   Member best = population_[best_index()];
   if (best.fitness.feasible && best.samples < n_report) {
     if (best.tally) {
-      best.tally->refine(n_report - best.samples, pool_, sims_,
-                         options_.estimation.mc);
+      scheduler_.refine(*best.tally, n_report - best.samples, sims_,
+                        options_.estimation.mc);
       best.fitness.yield = best.tally->mean();
       best.samples = best.tally->samples();
     } else {
@@ -304,7 +302,8 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     }
   }
   result.best = std::move(best);
-  result.total_simulations = sims_.total();
+  result.sim_breakdown = sims_.breakdown();
+  result.total_simulations = result.sim_breakdown.total();
   return result;
 }
 

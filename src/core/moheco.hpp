@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/parallel.hpp"
+#include "src/mc/eval_scheduler.hpp"
 #include "src/mc/ocba.hpp"
 #include "src/mc/sim_counter.hpp"
 #include "src/mc/yield_problem.hpp"
@@ -49,15 +50,21 @@ struct MohecoOptions {
   int stop_stagnation = 20;
   int max_generations = 200;
   int threads = 0;                ///< MC worker threads; 0 = hardware
+  /// Generation-wide evaluation scheduler knobs (per-worker session-cache
+  /// capacity, chunk size).  The optimizer owns one EvalScheduler for its
+  /// whole run, so session caches persist across generations.
+  mc::SchedulerOptions scheduler;
   std::uint64_t seed = 1;
 };
 
 /// One population member's bookkeeping.  Feasible members keep their MC
-/// tally (and evaluation sessions) alive across generations: the ordinal-
-/// optimization stage treats the whole current population as the candidate
-/// set, so surviving parents keep accumulating samples whenever the OCBA
-/// rule judges them worth refining.  This also removes the maximization
-/// bias a frozen noisy estimate of the best member would otherwise inject.
+/// tally alive across generations: the ordinal-optimization stage treats
+/// the whole current population as the candidate set, so surviving parents
+/// keep accumulating samples whenever the OCBA rule judges them worth
+/// refining.  This also removes the maximization bias a frozen noisy
+/// estimate of the best member would otherwise inject.  Evaluator sessions
+/// are not pinned here: they live in the optimizer's EvalScheduler caches,
+/// bounded by the session-cache capacity rather than by population size.
 struct Member {
   std::vector<double> x;
   opt::Fitness fitness;
@@ -84,6 +91,9 @@ struct GenerationTrace {
 struct MohecoResult {
   Member best;
   long long total_simulations = 0;
+  /// Per-phase split of total_simulations (screen / stage-1 / OCBA rounds /
+  /// stage-2 / other), for the ablation benches' budget accounting.
+  mc::SimBreakdown sim_breakdown;
   int generations = 0;
   bool reached_full_yield = false;
   std::vector<GenerationTrace> trace;
@@ -126,6 +136,9 @@ class MohecoOptimizer {
   MohecoOptions options_;
   opt::Bounds bounds_;
   ThreadPool pool_;
+  /// Generation-wide batched evaluation: one scheduler for the whole run,
+  /// so per-worker session caches stay warm across generations.
+  mc::EvalScheduler scheduler_;
   mc::SimCounter sims_;
   stats::Rng rng_;
   std::uint64_t stream_counter_ = 0;

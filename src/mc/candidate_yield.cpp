@@ -3,61 +3,71 @@
 #include <atomic>
 
 #include "src/common/error.hpp"
+#include "src/mc/eval_scheduler.hpp"
 #include "src/stats/rng.hpp"
 
 namespace moheco::mc {
+namespace {
+
+std::uint64_t next_candidate_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 CandidateYield::CandidateYield(const YieldProblem& problem,
                                std::vector<double> x,
-                               std::uint64_t stream_seed, int num_workers)
+                               std::uint64_t stream_seed)
     : problem_(&problem),
       x_(std::move(x)),
       stream_seed_(stream_seed),
-      sessions_(static_cast<std::size_t>(num_workers)) {
+      id_(next_candidate_id()) {
   require(x_.size() == problem.num_design_vars(),
           "CandidateYield: design vector size mismatch");
-  require(num_workers > 0, "CandidateYield: need at least one worker");
-}
-
-YieldProblem::Session* CandidateYield::session_for(int worker) {
-  auto& slot = sessions_[static_cast<std::size_t>(worker)];
-  if (!slot) slot = problem_->open(x_);
-  return slot.get();
 }
 
 const SampleResult& CandidateYield::screen_nominal(SimCounter& sims) {
   if (!screened_) {
-    nominal_ = session_for(0)->evaluate({});
+    nominal_ = problem_->open(x_)->evaluate({});
     screened_ = true;
-    sims.add(1);
+    sims.add(1, SimPhase::kScreen);
   }
   return nominal_;
+}
+
+void CandidateYield::record_nominal(const SampleResult& result,
+                                    SimCounter& sims) {
+  if (screened_) return;
+  nominal_ = result;
+  screened_ = true;
+  sims.add(1, SimPhase::kScreen);
+}
+
+linalg::MatrixD CandidateYield::next_batch(long long count,
+                                           const McOptions& options) {
+  require(count > 0, "CandidateYield: batch size must be positive");
+  // Batch seed depends on the batch index so incremental refinement draws
+  // fresh strata each round.
+  const std::uint64_t batch_seed =
+      stats::derive_seed(stream_seed_, 0xBA7C4, ++batches_);
+  return stats::sample_standard_normal(options.sampling,
+                                       static_cast<std::size_t>(count),
+                                       problem_->noise_dim(), batch_seed);
+}
+
+void CandidateYield::record(long long samples, long long passes) {
+  require(samples >= 0 && passes >= 0 && passes <= samples,
+          "CandidateYield: invalid tally record");
+  samples_ += samples;
+  passes_ += passes;
 }
 
 void CandidateYield::refine(long long count, ThreadPool& pool,
                             SimCounter& sims, const McOptions& options) {
   if (count <= 0) return;
-  require(static_cast<int>(sessions_.size()) >= pool.num_workers(),
-          "CandidateYield: pool has more workers than session slots");
-  const std::size_t dim = problem_->noise_dim();
-  // Batch seed depends on the batch index so incremental refinement draws
-  // fresh strata each round.
-  const std::uint64_t batch_seed =
-      stats::derive_seed(stream_seed_, 0xBA7C4, ++batches_);
-  const linalg::MatrixD samples = stats::sample_standard_normal(
-      options.sampling, static_cast<std::size_t>(count), dim, batch_seed);
-  std::atomic<long long> pass_count{0};
-  pool.parallel_for(static_cast<std::size_t>(count),
-                    [&](int worker, std::size_t i) {
-                      const SampleResult r = session_for(worker)->evaluate(
-                          {samples.row(i), dim});
-                      if (r.pass) {
-                        pass_count.fetch_add(1, std::memory_order_relaxed);
-                      }
-                    });
-  samples_ += count;
-  passes_ += pass_count.load();
-  sims.add(count);
+  EvalScheduler scheduler(pool);
+  scheduler.refine(*this, count, sims, options);
 }
 
 double CandidateYield::mean() const {

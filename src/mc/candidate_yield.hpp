@@ -1,10 +1,13 @@
-// Per-candidate Monte-Carlo yield estimation with incremental refinement.
+// Per-candidate Monte-Carlo yield bookkeeping: a pure tally plus the
+// candidate's deterministic sample stream.
 //
-// A CandidateYield owns the sampling state of one design point inside one
-// optimizer generation: the nominal acceptance-sampling screen, the running
-// pass tally, and one problem session per worker thread (so batches can be
-// evaluated in parallel while results stay bit-deterministic: sample i of
-// batch b is a pure function of the stream seed).
+// A CandidateYield owns no evaluation resources.  It records the nominal
+// acceptance-sampling screen and the running pass tally, and it hands out
+// sample batches drawn from the candidate's seed-derived stream: batch b is
+// a pure function of (stream_seed, b, batch size), so yield estimates are
+// bit-identical no matter how the batches are scheduled across workers.
+// Execution -- sessions, worker threads, session caching -- lives in
+// mc::EvalScheduler (src/mc/eval_scheduler.hpp).
 #pragma once
 
 #include <cstdint>
@@ -12,11 +15,14 @@
 #include <vector>
 
 #include "src/common/parallel.hpp"
+#include "src/linalg/matrix.hpp"
 #include "src/mc/sim_counter.hpp"
 #include "src/mc/yield_problem.hpp"
 #include "src/stats/samplers.hpp"
 
 namespace moheco::mc {
+
+class EvalScheduler;
 
 struct McOptions {
   stats::SamplingMethod sampling = stats::SamplingMethod::kLHS;
@@ -28,37 +34,55 @@ class CandidateYield {
   /// candidates the same seed makes their MC noise common (not used by the
   /// optimizers, but handy in tests).
   CandidateYield(const YieldProblem& problem, std::vector<double> x,
-                 std::uint64_t stream_seed, int num_workers);
+                 std::uint64_t stream_seed);
 
-  /// Acceptance-sampling screen: evaluates the nominal point once (counts
-  /// one simulation on first call; later calls return the cached result).
+  /// Acceptance-sampling screen: evaluates the nominal point once through a
+  /// throwaway session (counts one simulation on first call; later calls
+  /// return the cached result).  The batched equivalent, which reuses
+  /// cached sessions, is EvalScheduler::screen().
   const SampleResult& screen_nominal(SimCounter& sims);
+  /// Records an externally evaluated nominal screen (EvalScheduler::screen);
+  /// counts one simulation unless already screened.
+  void record_nominal(const SampleResult& result, SimCounter& sims);
   bool screened() const { return screened_; }
   bool nominal_feasible() const { return screened_ && nominal_.pass; }
   double nominal_violation() const { return nominal_.violation; }
 
-  /// Draws `count` additional samples and evaluates them on `pool`.
+  /// Draws the next `count`-sample batch from this candidate's stream and
+  /// advances the stream position.  The caller (normally the EvalScheduler)
+  /// must evaluate every row and record() the outcome exactly once.
+  linalg::MatrixD next_batch(long long count, const McOptions& options);
+  /// Adds a finished batch to the tally.
+  void record(long long samples, long long passes);
+
+  /// Draws and evaluates `count` additional samples on `pool` through a
+  /// temporary single-candidate scheduler.  This is the per-candidate
+  /// legacy path (one pool barrier per call); generation-wide flows should
+  /// batch through an EvalScheduler instead.
   void refine(long long count, ThreadPool& pool, SimCounter& sims,
               const McOptions& options);
 
   long long samples() const { return samples_; }
   long long passes() const { return passes_; }
+  long long batches() const { return batches_; }
   /// Estimated yield; 0 when no samples were drawn yet.
   double mean() const;
   /// Laplace-smoothed Bernoulli sample variance (never exactly 0, so the
   /// OCBA ratios stay finite when a tally is all-pass or all-fail).
   double smoothed_variance() const;
 
+  const YieldProblem& problem() const { return *problem_; }
   const std::vector<double>& x() const { return x_; }
   std::uint64_t stream_seed() const { return stream_seed_; }
+  /// Process-wide unique identity, used as the session-cache key (pointer
+  /// identity would be unsafe: a freed candidate's address can be reused).
+  std::uint64_t id() const { return id_; }
 
  private:
-  YieldProblem::Session* session_for(int worker);
-
   const YieldProblem* problem_;
   std::vector<double> x_;
   std::uint64_t stream_seed_;
-  std::vector<std::unique_ptr<YieldProblem::Session>> sessions_;
+  std::uint64_t id_;
   long long samples_ = 0;
   long long passes_ = 0;
   long long batches_ = 0;

@@ -1,0 +1,173 @@
+#include "src/mc/eval_scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/error.hpp"
+
+namespace moheco::mc {
+
+EvalScheduler::EvalScheduler(ThreadPool& pool, SchedulerOptions options)
+    : pool_(&pool),
+      options_(options),
+      caches_(static_cast<std::size_t>(pool.num_workers())) {
+  require(options_.sessions_per_worker > 0,
+          "EvalScheduler: sessions_per_worker must be positive");
+  for (auto& cache : caches_) {
+    cache.entries.reserve(
+        static_cast<std::size_t>(options_.sessions_per_worker));
+  }
+}
+
+YieldProblem::Session* EvalScheduler::session_for(int worker,
+                                                  CandidateYield& tally) {
+  WorkerCache& cache = caches_[static_cast<std::size_t>(worker)];
+  ++cache.tick;
+  for (CacheEntry& entry : cache.entries) {
+    if (entry.session && entry.key == tally.id()) {
+      entry.tick = cache.tick;
+      session_hits_.fetch_add(1, std::memory_order_relaxed);
+      return entry.session.get();
+    }
+  }
+  session_opens_.fetch_add(1, std::memory_order_relaxed);
+  CacheEntry* slot = nullptr;
+  if (cache.entries.size() <
+      static_cast<std::size_t>(options_.sessions_per_worker)) {
+    // Never reallocates: the vector is reserved to capacity on construction,
+    // so entries stay stable while other lookups hold pointers into them.
+    slot = &cache.entries.emplace_back();
+  } else {
+    // Evict the least-recently-used session before opening the replacement,
+    // so the live-session bound of capacity * workers is never exceeded,
+    // even transiently.
+    slot = &cache.entries.front();
+    for (CacheEntry& entry : cache.entries) {
+      if (entry.tick < slot->tick) slot = &entry;
+    }
+    if (slot->session) {
+      slot->session.reset();
+      live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // open() may throw (e.g. a failing nominal solve); the slot is then left
+  // empty (null session, skipped by lookups and recycled first by the LRU
+  // scan), keeping the cache and the live-session accounting valid.
+  slot->session = tally.problem().open(tally.x());
+  slot->key = tally.id();
+  slot->tick = cache.tick;
+  const std::size_t live =
+      live_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = peak_sessions_.load(std::memory_order_relaxed);
+  while (peak < live && !peak_sessions_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  return slot->session.get();
+}
+
+void EvalScheduler::enqueue(CandidateYield& tally, long long count,
+                            const McOptions& options) {
+  if (count <= 0) return;
+  PendingJob job;
+  job.tally = &tally;
+  job.samples = tally.next_batch(count, options);
+  job.count = count;
+  pending_.push_back(std::move(job));
+}
+
+void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
+  if (pending_.empty()) return;
+  long long total = 0;
+  for (const PendingJob& job : pending_) total += job.count;
+
+  std::size_t chunk = options_.chunk;
+  if (chunk == 0) {
+    chunk = std::clamp<std::size_t>(
+        static_cast<std::size_t>(total) /
+            (4 * static_cast<std::size_t>(pool_->num_workers())),
+        1, 64);
+  }
+
+  // One task per (job, row range); all tasks of a round drain as one pool
+  // dispatch.  Tasks of one job are contiguous, so a worker claiming
+  // neighbouring tasks stays on the same candidate's session.
+  struct Task {
+    std::size_t job;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(pending_.size() +
+                static_cast<std::size_t>(total) / std::max<std::size_t>(chunk, 1));
+  for (std::size_t j = 0; j < pending_.size(); ++j) {
+    const std::size_t rows = static_cast<std::size_t>(pending_[j].count);
+    for (std::size_t begin = 0; begin < rows; begin += chunk) {
+      tasks.push_back({j, begin, std::min(rows, begin + chunk)});
+    }
+  }
+
+  // Per-task pass counts summed sequentially afterwards: integer tallies in
+  // a fixed order, so the result is independent of scheduling.  On an
+  // evaluation error the queued batches are dropped (their stream
+  // positions stay consumed, nothing is tallied) so a later flush does not
+  // replay the failing jobs.
+  std::vector<long long> task_passes(tasks.size(), 0);
+  try {
+    pool_->parallel_for(
+        tasks.size(),
+        [&](int worker, std::size_t t) {
+          const Task& task = tasks[t];
+          PendingJob& job = pending_[task.job];
+          YieldProblem::Session* session = session_for(worker, *job.tally);
+          const std::size_t dim = job.tally->problem().noise_dim();
+          long long passes = 0;
+          for (std::size_t i = task.begin; i < task.end; ++i) {
+            if (session->evaluate({job.samples.row(i), dim}).pass) ++passes;
+          }
+          task_passes[t] = passes;
+        },
+        /*grain=*/1);
+  } catch (...) {
+    pending_.clear();
+    throw;
+  }
+
+  std::size_t t = 0;
+  for (std::size_t j = 0; j < pending_.size(); ++j) {
+    long long passes = 0;
+    for (; t < tasks.size() && tasks[t].job == j; ++t) passes += task_passes[t];
+    pending_[j].tally->record(pending_[j].count, passes);
+  }
+  sims.add(total, phase);
+  pending_.clear();
+}
+
+void EvalScheduler::screen(std::span<CandidateYield* const> candidates,
+                           SimCounter& sims) {
+  std::vector<CandidateYield*> todo;
+  for (CandidateYield* c : candidates) {
+    if (c != nullptr && !c->screened()) todo.push_back(c);
+  }
+  if (todo.empty()) return;
+  std::vector<SampleResult> results(todo.size());
+  std::vector<std::function<void(int)>> tasks;
+  tasks.reserve(todo.size());
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    tasks.push_back([this, &results, &todo, i](int worker) {
+      results[i] = session_for(worker, *todo[i])->evaluate({});
+    });
+  }
+  pool_->run_tasks(tasks);
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    todo[i]->record_nominal(results[i], sims);
+  }
+}
+
+void EvalScheduler::refine(CandidateYield& tally, long long count,
+                           SimCounter& sims, const McOptions& options,
+                           SimPhase phase) {
+  enqueue(tally, count, options);
+  flush(sims, phase);
+}
+
+}  // namespace moheco::mc

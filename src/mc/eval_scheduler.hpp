@@ -1,0 +1,133 @@
+// Generation-wide Monte-Carlo evaluation scheduler.
+//
+// The two-stage estimator used to call CandidateYield::refine() candidate
+// by candidate: every OCBA delta-increment was a pool-wide barrier over a
+// tiny batch (workers idle while one candidate's handful of samples
+// drained), and every candidate pinned one evaluator session per worker
+// for its whole lifetime (S x W sized netlists and factorizations live at
+// once).  The EvalScheduler fixes both:
+//
+//   - Batching: callers enqueue() all candidates' sample ranges for a round
+//     and flush() once.  The whole round becomes one chunked job set drained
+//     by the pool with no per-candidate barriers.
+//   - Session caching: sessions live in per-worker LRU caches keyed by
+//     candidate id.  Peak live sessions are bounded by
+//     sessions_per_worker x workers no matter how many candidates are in
+//     flight, and hot candidates keep their sessions warm across rounds and
+//     generations.
+//
+// Determinism: enqueue() consumes the candidate's sample stream immediately
+// (batch index and size are fixed at enqueue time), every sample of a batch
+// is evaluated exactly once, and pass counts are integers summed in job
+// order -- so yield tallies are bit-identical across worker counts,
+// chunk sizes, and cache capacities, and identical to the per-candidate
+// refine() path for the same round structure.  This relies on the
+// YieldProblem session-cache contract (see src/mc/yield_problem.hpp):
+// sample results are pure functions of (x, xi).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/linalg/matrix.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/sim_counter.hpp"
+#include "src/mc/yield_problem.hpp"
+
+namespace moheco::mc {
+
+struct SchedulerOptions {
+  /// Capacity of each worker's session cache (LRU eviction).  Peak live
+  /// sessions are bounded by sessions_per_worker * num_workers; a miss on a
+  /// full cache evicts the least-recently-used session before opening the
+  /// replacement.
+  int sessions_per_worker = 8;
+  /// Samples per scheduling chunk; 0 picks one automatically (roughly four
+  /// chunks per worker per flush, capped at 64) so a single large stage-2
+  /// batch still spreads across the whole pool.
+  std::size_t chunk = 0;
+};
+
+class EvalScheduler {
+ public:
+  explicit EvalScheduler(ThreadPool& pool, SchedulerOptions options = {});
+
+  ThreadPool& pool() const { return *pool_; }
+  int num_workers() const { return pool_->num_workers(); }
+  const SchedulerOptions& options() const { return options_; }
+
+  /// Queues `count` fresh samples of `tally`'s stream for the next flush().
+  /// The batch is drawn immediately (the stream position is consumed at
+  /// enqueue time), so results do not depend on flush scheduling.  The
+  /// tally must stay alive until the flush.  No-op when count <= 0.
+  void enqueue(CandidateYield& tally, long long count,
+               const McOptions& options);
+
+  /// Evaluates every queued batch as one pool-wide chunked job set, updates
+  /// the tallies, and counts the samples under `phase`.  If an evaluation
+  /// throws, the exception propagates and every queued batch is dropped
+  /// untallied (the scheduler stays usable for new work).
+  void flush(SimCounter& sims, SimPhase phase = SimPhase::kOther);
+
+  /// Batched nominal screens: evaluates the nominal point of every
+  /// not-yet-screened candidate as one task set (cached sessions are
+  /// reused and later refinement reuses the sessions opened here).
+  void screen(std::span<CandidateYield* const> candidates, SimCounter& sims);
+
+  /// enqueue() + flush() for a single candidate: the per-candidate legacy
+  /// shape, kept for callers outside generation-wide rounds.
+  void refine(CandidateYield& tally, long long count, SimCounter& sims,
+              const McOptions& options, SimPhase phase = SimPhase::kOther);
+
+  // --- instrumentation (relaxed atomics; exact between flushes) ---
+  /// Sessions currently held across all worker caches.
+  std::size_t live_sessions() const {
+    return live_sessions_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of live_sessions().
+  std::size_t peak_sessions() const {
+    return peak_sessions_.load(std::memory_order_relaxed);
+  }
+  /// Cache misses (sessions constructed) and hits since construction.
+  long long session_opens() const {
+    return session_opens_.load(std::memory_order_relaxed);
+  }
+  long long session_hits() const {
+    return session_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct CacheEntry {
+    std::uint64_t key = 0;
+    std::unique_ptr<YieldProblem::Session> session;
+    std::uint64_t tick = 0;
+  };
+  /// One worker's LRU session cache; cache-line aligned so concurrent
+  /// lookups on neighbouring workers do not false-share.
+  struct alignas(64) WorkerCache {
+    std::vector<CacheEntry> entries;
+    std::uint64_t tick = 0;
+  };
+  struct PendingJob {
+    CandidateYield* tally = nullptr;
+    linalg::MatrixD samples;
+    long long count = 0;
+  };
+
+  YieldProblem::Session* session_for(int worker, CandidateYield& tally);
+
+  ThreadPool* pool_;
+  SchedulerOptions options_;
+  std::vector<WorkerCache> caches_;
+  std::vector<PendingJob> pending_;
+  std::atomic<std::size_t> live_sessions_{0};
+  std::atomic<std::size_t> peak_sessions_{0};
+  std::atomic<long long> session_opens_{0};
+  std::atomic<long long> session_hits_{0};
+};
+
+}  // namespace moheco::mc

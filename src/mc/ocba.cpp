@@ -72,7 +72,8 @@ std::vector<long long> ocba_allocation(std::span<const double> means,
 
 std::vector<std::size_t> two_stage_estimate(
     std::span<CandidateYield* const> candidates,
-    const TwoStageOptions& options, ThreadPool& pool, SimCounter& sims) {
+    const TwoStageOptions& options, EvalScheduler& scheduler,
+    SimCounter& sims) {
   const std::size_t s = candidates.size();
   std::vector<std::size_t> promoted;
   if (s == 0) return promoted;
@@ -92,12 +93,13 @@ std::vector<std::size_t> two_stage_estimate(
     if (c->samples() < options.n0) ++num_new;
   }
 
-  // Stage 1a: n0 pilot samples per new candidate.
+  // Stage 1a: n0 pilot samples per new candidate, one batched job set.
   for (CandidateYield* c : candidates) {
     if (c->samples() < options.n0) {
-      c->refine(options.n0 - c->samples(), pool, sims, options.mc);
+      scheduler.enqueue(*c, options.n0 - c->samples(), options.mc);
     }
   }
+  scheduler.flush(sims, SimPhase::kStage1);
 
   // Stage 1b: iterative OCBA up to sim_avg fresh samples per new candidate.
   const long long total_budget =
@@ -125,7 +127,8 @@ std::vector<std::size_t> two_stage_estimate(
         ocba_allocation(means, variances, round_total);
     // Candidates below their target absorb the round budget; candidates
     // above it cannot give samples back, so cap the total added at the
-    // round increment to keep the overall spend at T.
+    // round increment to keep the overall spend at T.  The whole round is
+    // enqueued before it runs: one job set, no per-candidate barriers.
     long long allowance = round_total - used;
     long long added = 0;
     for (std::size_t i = 0; i < s && allowance > 0; ++i) {
@@ -136,7 +139,7 @@ std::vector<std::size_t> two_stage_estimate(
                            candidates[i]->samples());
       extra = std::min(extra, allowance);
       if (extra > 0) {
-        candidates[i]->refine(extra, pool, sims, options.mc);
+        scheduler.enqueue(*candidates[i], extra, options.mc);
         added += extra;
         allowance -= extra;
       }
@@ -145,20 +148,31 @@ std::vector<std::size_t> two_stage_estimate(
       // OCBA wants to move budget to already-saturated candidates; stop.
       break;
     }
+    scheduler.flush(sims, SimPhase::kOcba);
   }
 
-  // Stage 2: accurate estimation of candidates above the threshold.
+  // Stage 2: accurate estimation of candidates above the threshold, again
+  // as one batched job set (promotion decisions only read stage-1 tallies,
+  // so they are unaffected by deferring the evaluation to the flush).
   for (std::size_t i = 0; i < s; ++i) {
     if (candidates[i]->mean() > options.stage2_threshold &&
         candidates[i]->samples() < options.n_max) {
-      candidates[i]->refine(options.n_max - candidates[i]->samples(), pool,
-                            sims, options.mc);
+      scheduler.enqueue(*candidates[i],
+                        options.n_max - candidates[i]->samples(), options.mc);
       promoted.push_back(i);
     } else if (candidates[i]->samples() >= options.n_max) {
       promoted.push_back(i);
     }
   }
+  scheduler.flush(sims, SimPhase::kStage2);
   return promoted;
+}
+
+std::vector<std::size_t> two_stage_estimate(
+    std::span<CandidateYield* const> candidates,
+    const TwoStageOptions& options, ThreadPool& pool, SimCounter& sims) {
+  EvalScheduler scheduler(pool);
+  return two_stage_estimate(candidates, options, scheduler, sims);
 }
 
 }  // namespace moheco::mc

@@ -15,6 +15,7 @@
 
 #include "src/common/parallel.hpp"
 #include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
 
 namespace moheco::mc {
 
@@ -41,8 +42,19 @@ struct TwoStageOptions {
 };
 
 /// Runs the two-stage (OO stage-1 + accurate stage-2) estimation on a set of
-/// nominally feasible candidates, updating their tallies in place.
-/// Returns the indices of the candidates promoted to stage 2.
+/// nominally feasible candidates, updating their tallies in place.  Each
+/// phase (n0 pilots, every OCBA delta round, stage-2 promotion) submits all
+/// candidates' sample ranges to `scheduler` as one batched job set, so the
+/// pool never barriers on a single candidate's increment.  Returns the
+/// indices of the candidates promoted to stage 2.
+std::vector<std::size_t> two_stage_estimate(
+    std::span<CandidateYield* const> candidates, const TwoStageOptions& options,
+    EvalScheduler& scheduler, SimCounter& sims);
+
+/// Convenience overload: runs on a scheduler created for this call (session
+/// caches do not persist afterwards).  Long-lived flows -- the optimizer's
+/// generation loop -- should own an EvalScheduler and use the overload
+/// above so hot candidates keep their sessions warm across generations.
 std::vector<std::size_t> two_stage_estimate(
     std::span<CandidateYield* const> candidates, const TwoStageOptions& options,
     ThreadPool& pool, SimCounter& sims);

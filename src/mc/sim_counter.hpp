@@ -2,21 +2,91 @@
 //
 // The paper reports costs in "number of simulations"; every evaluation of a
 // (design, sample) pair -- including the nominal acceptance-sampling screens
-// -- increments this counter exactly once.
+// -- increments this counter exactly once.  Counts are kept per phase of the
+// two-stage flow so the ablation benches can report where the budget went.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 
 namespace moheco::mc {
 
+/// Which part of the estimation flow an evaluation belongs to.
+enum class SimPhase : int {
+  kScreen = 0,  ///< nominal acceptance-sampling screens
+  kStage1,      ///< stage-1 pilot batches (n0 per new candidate)
+  kOcba,        ///< OCBA delta-increment rounds
+  kStage2,      ///< stage-2 accurate estimation (promotion to n_max)
+  kOther,       ///< everything else (fixed-budget baselines, reporting, NM)
+};
+
+inline constexpr std::size_t kNumSimPhases = 5;
+
+inline const char* to_string(SimPhase phase) {
+  switch (phase) {
+    case SimPhase::kScreen: return "screen";
+    case SimPhase::kStage1: return "stage1";
+    case SimPhase::kOcba: return "ocba";
+    case SimPhase::kStage2: return "stage2";
+    case SimPhase::kOther: return "other";
+  }
+  return "?";
+}
+
+/// A plain (non-atomic) snapshot of the per-phase totals.
+struct SimBreakdown {
+  long long screen = 0;
+  long long stage1 = 0;
+  long long ocba = 0;
+  long long stage2 = 0;
+  long long other = 0;
+
+  long long total() const { return screen + stage1 + ocba + stage2 + other; }
+
+  SimBreakdown& operator+=(const SimBreakdown& rhs) {
+    screen += rhs.screen;
+    stage1 += rhs.stage1;
+    ocba += rhs.ocba;
+    stage2 += rhs.stage2;
+    other += rhs.other;
+    return *this;
+  }
+};
+
 class SimCounter {
  public:
-  void add(long long n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
-  long long total() const { return count_.load(std::memory_order_relaxed); }
-  void reset() { count_.store(0, std::memory_order_relaxed); }
+  void add(long long n = 1, SimPhase phase = SimPhase::kOther) {
+    counts_[static_cast<std::size_t>(phase)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  long long total() const {
+    long long sum = 0;
+    for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  long long phase_total(SimPhase phase) const {
+    return counts_[static_cast<std::size_t>(phase)].load(
+        std::memory_order_relaxed);
+  }
+
+  SimBreakdown breakdown() const {
+    SimBreakdown b;
+    b.screen = phase_total(SimPhase::kScreen);
+    b.stage1 = phase_total(SimPhase::kStage1);
+    b.ocba = phase_total(SimPhase::kOcba);
+    b.stage2 = phase_total(SimPhase::kStage2);
+    b.other = phase_total(SimPhase::kOther);
+    return b;
+  }
+
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<long long> count_{0};
+  std::atomic<long long> counts_[kNumSimPhases] = {};
 };
 
 }  // namespace moheco::mc

@@ -11,6 +11,17 @@
 // circuit problems: the sized netlist, the nominal operating point used as
 // a Newton warm start, and the nominal GBW used to seed the crossing
 // search).  Distinct sessions must be usable concurrently.
+//
+// Session-cache contract (relied on by mc::EvalScheduler):
+//   - open() must be thread-safe: the scheduler opens sessions for the same
+//     problem concurrently from several workers.
+//   - evaluate(xi) must be a pure function of (x, xi): internal state may
+//     only affect cost (warm starts, search seeds), never results.  The
+//     scheduler is then free to evict a session mid-stream and reopen it
+//     later -- or to split one candidate's batch across many sessions --
+//     without changing the yield tally.
+//   - Sessions may be destroyed at any time between evaluations (LRU
+//     eviction); construction must be self-contained and repeatable.
 #pragma once
 
 #include <memory>

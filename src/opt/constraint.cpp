@@ -2,6 +2,22 @@
 
 namespace moheco::opt {
 
+Fitness feasible_fitness(double yield) {
+  Fitness f;
+  f.feasible = true;
+  f.violation = 0.0;
+  f.yield = yield;
+  return f;
+}
+
+Fitness infeasible_fitness(double violation) {
+  Fitness f;
+  f.feasible = false;
+  f.violation = violation;
+  f.yield = 0.0;
+  return f;
+}
+
 bool deb_better(const Fitness& a, const Fitness& b) {
   if (a.feasible != b.feasible) return a.feasible;
   if (!a.feasible) return a.violation < b.violation;

@@ -13,6 +13,14 @@ struct Fitness {
   double yield = 0.0;       ///< estimated yield (feasible)
 };
 
+/// Fitness of a candidate that passed the nominal screen, with `yield`
+/// estimated by the MC scheduler.
+Fitness feasible_fitness(double yield);
+
+/// Fitness of a candidate that failed the nominal screen with the given
+/// violation sum (its yield is never estimated).
+Fitness infeasible_fitness(double violation);
+
 /// True when `a` is strictly better than `b` under Deb's rules.
 bool deb_better(const Fitness& a, const Fitness& b);
 

@@ -57,4 +57,14 @@ std::vector<double> de_trial(std::span<const std::vector<double>> population,
   return trial;
 }
 
+std::vector<std::vector<double>> de_generation(
+    std::span<const std::vector<double>> population, std::size_t best,
+    const DeConfig& config, const Bounds& bounds, stats::Rng& rng) {
+  std::vector<std::vector<double>> trials(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    trials[i] = de_trial(population, i, best, config, bounds, rng);
+  }
+  return trials;
+}
+
 }  // namespace moheco::opt

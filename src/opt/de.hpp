@@ -46,4 +46,13 @@ std::vector<double> de_trial(std::span<const std::vector<double>> population,
                              const DeConfig& config, const Bounds& bounds,
                              stats::Rng& rng);
 
+/// Generates one whole generation of trial vectors (de_trial for every
+/// member, in member order).  This is the unit the generation-wide
+/// evaluation scheduler consumes: all trials exist before any is evaluated,
+/// so the screen and the two-stage estimation can batch across the
+/// population instead of refining one candidate at a time.
+std::vector<std::vector<double>> de_generation(
+    std::span<const std::vector<double>> population, std::size_t best,
+    const DeConfig& config, const Bounds& bounds, stats::Rng& rng);
+
 }  // namespace moheco::opt

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "src/common/error.hpp"
@@ -74,6 +75,28 @@ TEST(ResultsCache, RoundTrips) {
   EXPECT_EQ(loaded->at("dev"), results["dev"]);
   EXPECT_EQ(loaded->at("sims"), results["sims"]);
   EXPECT_FALSE(cache.load("missing key").has_value());
+}
+
+TEST(ResultsCache, StoreIsAtomicAndLeavesNoTempFiles) {
+  const std::string dir = "/tmp/moheco_cache_test_atomic";
+  std::filesystem::remove_all(dir);
+  ResultsCache cache(dir);
+  ResultMap results;
+  results["values"] = {1.0, 2.0};
+  cache.store("atomic", results);
+  // Overwrite an existing entry (the rename-over-existing path).
+  results["values"] = {3.0, 4.0};
+  cache.store("atomic", results);
+  const auto loaded = cache.load("atomic");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->at("values"), results["values"]);
+  // Only the final file remains -- no .tmp.* leftovers in the directory.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().extension(), ".txt") << entry.path();
+  }
+  EXPECT_EQ(files, 1u);
 }
 
 }  // namespace

@@ -119,7 +119,7 @@ TEST(Integration, CircuitCandidateYieldAgreesWithReference) {
   const std::vector<double> x = {60e-6, 40e-6, 20e-6, 0.7e-6, 0.85};
   ThreadPool pool(8);
   mc::SimCounter sims;
-  mc::CandidateYield tally(problem, x, 77, pool.num_workers());
+  mc::CandidateYield tally(problem, x, 77);
   tally.refine(4000, pool, sims, mc::McOptions{});
   const double reference = mc::reference_yield(problem, x, 8000, 78, pool);
   EXPECT_NEAR(tally.mean(), reference, 0.03);

@@ -53,7 +53,7 @@ TEST(Quadratic, NominalScreen) {
 
 TEST(CandidateYield, ScreenCountsOneSim) {
   const QuadraticYieldProblem problem(2, 4, 1.0, 0.3);
-  CandidateYield c(problem, {0.1, 0.1}, 1, 2);
+  CandidateYield c(problem, {0.1, 0.1}, 1);
   SimCounter sims;
   c.screen_nominal(sims);
   c.screen_nominal(sims);  // cached
@@ -65,7 +65,7 @@ TEST(CandidateYield, RefineAccumulatesAndCounts) {
   const QuadraticYieldProblem problem(2, 4, 1.0, 0.5);
   ThreadPool pool(4);
   SimCounter sims;
-  CandidateYield c(problem, {0.3, 0.3}, 7, pool.num_workers());
+  CandidateYield c(problem, {0.3, 0.3}, 7);
   c.refine(100, pool, sims, McOptions{});
   EXPECT_EQ(c.samples(), 100);
   EXPECT_EQ(sims.total(), 100);
@@ -83,14 +83,14 @@ TEST(CandidateYield, DeterministicAcrossThreadCounts) {
   {
     ThreadPool pool(1);
     SimCounter sims;
-    CandidateYield c(problem, x, 99, pool.num_workers());
+    CandidateYield c(problem, x, 99);
     c.refine(500, pool, sims, McOptions{});
     passes1 = c.passes();
   }
   {
     ThreadPool pool(4);
     SimCounter sims;
-    CandidateYield c(problem, x, 99, pool.num_workers());
+    CandidateYield c(problem, x, 99);
     c.refine(500, pool, sims, McOptions{});
     passes4 = c.passes();
   }
@@ -102,7 +102,7 @@ TEST(CandidateYield, EstimateConvergesToTruth) {
   const std::vector<double> x = {0.6, 0.3};
   ThreadPool pool(8);
   SimCounter sims;
-  CandidateYield c(problem, x, 5, pool.num_workers());
+  CandidateYield c(problem, x, 5);
   c.refine(20000, pool, sims, McOptions{});
   EXPECT_NEAR(c.mean(), problem.true_yield(x), 0.015);
 }
@@ -111,7 +111,7 @@ TEST(CandidateYield, SmoothedVarianceNeverZero) {
   const BernoulliArmsProblem problem({1.0});
   ThreadPool pool(2);
   SimCounter sims;
-  CandidateYield c(problem, {0.0}, 3, pool.num_workers());
+  CandidateYield c(problem, {0.0}, 3);
   c.refine(200, pool, sims, McOptions{});
   EXPECT_EQ(c.mean(), 1.0);  // arm with yield 1 always passes
   EXPECT_GT(c.smoothed_variance(), 0.0);
@@ -176,7 +176,7 @@ TEST(TwoStage, SpendsApproxSimAvgTimesN) {
     // Designs of varying quality, all nominally feasible.
     const double r = 0.08 * i;
     owners.push_back(std::make_unique<CandidateYield>(
-        problem, std::vector<double>{r, 0.0}, 100 + i, pool.num_workers()));
+        problem, std::vector<double>{r, 0.0}, 100 + i));
     owners.back()->screen_nominal(sims);
     cands.push_back(owners.back().get());
   }
@@ -202,8 +202,7 @@ TEST(TwoStage, PromotesHighYieldCandidates) {
   std::vector<CandidateYield*> cands;
   for (int i = 0; i < 4; ++i) {
     owners.push_back(std::make_unique<CandidateYield>(
-        problem, std::vector<double>{static_cast<double>(i)}, 10 + i,
-        pool.num_workers()));
+        problem, std::vector<double>{static_cast<double>(i)}, 10 + i));
     owners.back()->screen_nominal(sims);
     cands.push_back(owners.back().get());
   }
@@ -241,7 +240,7 @@ TEST(TwoStage, OcbaBeatsEqualAllocationOnSelection) {
       for (int i = 0; i < 5; ++i) {
         owners.push_back(std::make_unique<CandidateYield>(
             problem, std::vector<double>{static_cast<double>(i)},
-            stats::derive_seed(999, rep, i), pool.num_workers()));
+            stats::derive_seed(999, rep, i)));
         cands.push_back(owners.back().get());
       }
       TwoStageOptions options;
@@ -264,7 +263,7 @@ TEST(TwoStage, OcbaBeatsEqualAllocationOnSelection) {
       double best_mean = -1.0;
       for (int i = 0; i < 5; ++i) {
         CandidateYield c(problem, std::vector<double>{static_cast<double>(i)},
-                         stats::derive_seed(999, rep, i), pool.num_workers());
+                         stats::derive_seed(999, rep, i));
         c.refine(budget / 5, pool, sims, pmc);
         if (c.mean() > best_mean) {
           best_mean = c.mean();

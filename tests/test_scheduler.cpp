@@ -1,0 +1,435 @@
+// Generation-wide EvalScheduler: scheduling determinism, equivalence with
+// the per-candidate refinement path, session-cache bounds, and the upgraded
+// ThreadPool entry points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
+#include "src/mc/ocba.hpp"
+#include "src/mc/synthetic.hpp"
+#include "src/stats/rng.hpp"
+
+namespace moheco::mc {
+namespace {
+
+// --- ThreadPool upgrades --------------------------------------------------
+
+TEST(Parallel, ChunkedClaimingRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(
+        1000, [&](int, std::size_t i) { ++hits[i]; }, grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, RunTasksRunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::vector<std::function<void(int)>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i, &pool](int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, pool.num_workers());
+      ++hits[i];
+    });
+  }
+  pool.run_tasks(tasks);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.run_tasks({});  // empty set is a no-op
+}
+
+TEST(Parallel, RunTasksPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::vector<std::function<void(int)>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([i](int) {
+      if (i == 3) throw InvalidArgument("boom");
+    });
+  }
+  EXPECT_THROW(pool.run_tasks(tasks), InvalidArgument);
+}
+
+// --- Session-cache instrumentation ---------------------------------------
+
+/// Counts live and total sessions so tests can observe the cache behaviour.
+class CountingProblem final : public YieldProblem {
+ public:
+  explicit CountingProblem(std::size_t noise_dim = 2)
+      : noise_dim_(noise_dim) {}
+
+  std::size_t num_design_vars() const override { return 1; }
+  double lower_bound(std::size_t) const override { return -1.0; }
+  double upper_bound(std::size_t) const override { return 1.0; }
+  std::size_t noise_dim() const override { return noise_dim_; }
+
+  class CountingSession final : public Session {
+   public:
+    explicit CountingSession(const CountingProblem* parent)
+        : parent_(parent) {
+      const long long live =
+          1 + parent_->live_.fetch_add(1, std::memory_order_relaxed);
+      long long peak = parent_->peak_.load(std::memory_order_relaxed);
+      while (peak < live && !parent_->peak_.compare_exchange_weak(
+                                peak, live, std::memory_order_relaxed)) {
+      }
+    }
+    ~CountingSession() override {
+      parent_->live_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    SampleResult evaluate(std::span<const double> xi) override {
+      SampleResult r;
+      r.pass = xi.empty() || xi[0] >= 0.0;
+      return r;
+    }
+
+   private:
+    const CountingProblem* parent_;
+  };
+
+  std::unique_ptr<Session> open(std::span<const double>) const override {
+    opens_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<CountingSession>(this);
+  }
+
+  long long live() const { return live_.load(); }
+  long long peak() const { return peak_.load(); }
+  long long opens() const { return opens_.load(); }
+
+ private:
+  std::size_t noise_dim_;
+  mutable std::atomic<long long> live_{0};
+  mutable std::atomic<long long> peak_{0};
+  mutable std::atomic<long long> opens_{0};
+};
+
+TEST(EvalScheduler, PeakSessionsBoundedByCacheCapacity) {
+  const CountingProblem problem;
+  const int kWorkers = 4;
+  const int kCapacity = 2;
+  const int kCandidates = 16;
+  ThreadPool pool(kWorkers);
+  SchedulerOptions options;
+  options.sessions_per_worker = kCapacity;
+  EvalScheduler scheduler(pool, options);
+  SimCounter sims;
+
+  std::vector<std::unique_ptr<CandidateYield>> owners;
+  for (int i = 0; i < kCandidates; ++i) {
+    owners.push_back(
+        std::make_unique<CandidateYield>(problem, std::vector<double>{0.0},
+                                         static_cast<std::uint64_t>(i)));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (auto& c : owners) scheduler.enqueue(*c, 20, McOptions{});
+    scheduler.flush(sims);
+  }
+  // Eviction destroys before reopening, so the bound is exact on both the
+  // problem's own count and the scheduler's instrumentation.
+  EXPECT_LE(problem.peak(), kCapacity * kWorkers);
+  EXPECT_LE(scheduler.peak_sessions(),
+            static_cast<std::size_t>(kCapacity * kWorkers));
+  EXPECT_EQ(scheduler.live_sessions(), static_cast<std::size_t>(problem.live()));
+  EXPECT_EQ(scheduler.session_opens(), problem.opens());
+  EXPECT_EQ(sims.total(), 3LL * kCandidates * 20);
+}
+
+TEST(EvalScheduler, CacheHitsOnRepeatedRefinement) {
+  const CountingProblem problem;
+  ThreadPool pool(2);
+  EvalScheduler scheduler(pool);
+  SimCounter sims;
+  CandidateYield c(problem, {0.0}, 9);
+  for (int round = 0; round < 5; ++round) {
+    scheduler.refine(c, 50, sims, McOptions{});
+  }
+  // At most one session per worker is ever opened for a single candidate.
+  EXPECT_LE(problem.opens(), 2);
+  EXPECT_GT(scheduler.session_hits(), 0);
+}
+
+/// open() fails for design points with x[0] < 0 (a candidate whose nominal
+/// point cannot even be solved).
+class FlakyOpenProblem final : public YieldProblem {
+ public:
+  std::size_t num_design_vars() const override { return 1; }
+  double lower_bound(std::size_t) const override { return -1.0; }
+  double upper_bound(std::size_t) const override { return 1.0; }
+  std::size_t noise_dim() const override { return 1; }
+
+  class PassSession final : public Session {
+   public:
+    SampleResult evaluate(std::span<const double>) override {
+      SampleResult r;
+      r.pass = true;
+      return r;
+    }
+  };
+
+  std::unique_ptr<Session> open(std::span<const double> x) const override {
+    if (x[0] < 0.0) throw InvalidArgument("open failed");
+    return std::make_unique<PassSession>();
+  }
+};
+
+TEST(EvalScheduler, SurvivesThrowingSessionConstruction) {
+  const FlakyOpenProblem problem;
+  ThreadPool pool(2);
+  EvalScheduler scheduler(pool);
+  SimCounter sims;
+  CandidateYield bad(problem, {-0.5}, 1);
+  CandidateYield good(problem, {0.5}, 2);
+  EXPECT_THROW(scheduler.refine(bad, 10, sims, McOptions{}),
+               InvalidArgument);
+  // The failed open must not leave a poisoned cache entry behind: the
+  // scheduler stays usable and the good candidate evaluates normally.
+  scheduler.refine(good, 10, sims, McOptions{});
+  EXPECT_EQ(good.samples(), 10);
+  EXPECT_EQ(good.passes(), 10);
+  EXPECT_EQ(scheduler.live_sessions(), scheduler.peak_sessions());
+}
+
+TEST(EvalScheduler, ScreenBatchesAndCountsOnce) {
+  const QuadraticYieldProblem problem(2, 4, 1.0, 0.3);
+  ThreadPool pool(4);
+  EvalScheduler scheduler(pool);
+  SimCounter sims;
+  std::vector<std::unique_ptr<CandidateYield>> owners;
+  std::vector<CandidateYield*> candidates;
+  for (int i = 0; i < 8; ++i) {
+    const double r = 0.3 * i;  // some inside the feasible disk, some out
+    owners.push_back(std::make_unique<CandidateYield>(
+        problem, std::vector<double>{r, 0.0},
+        static_cast<std::uint64_t>(i)));
+    candidates.push_back(owners.back().get());
+  }
+  scheduler.screen(candidates, sims);
+  EXPECT_EQ(sims.phase_total(SimPhase::kScreen), 8);
+  for (const auto& c : owners) EXPECT_TRUE(c->screened());
+  // Re-screening is free: everything is cached.
+  scheduler.screen(candidates, sims);
+  EXPECT_EQ(sims.total(), 8);
+  // Screen verdicts match the problem's closed form.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(owners[i]->nominal_feasible(),
+              problem.margin(owners[i]->x()) >= 0.0);
+  }
+}
+
+// --- Scheduling determinism ----------------------------------------------
+
+struct TallySnapshot {
+  std::vector<long long> samples;
+  std::vector<long long> passes;
+  bool operator==(const TallySnapshot&) const = default;
+};
+
+TallySnapshot snapshot(
+    const std::vector<std::unique_ptr<CandidateYield>>& owners) {
+  TallySnapshot s;
+  for (const auto& c : owners) {
+    s.samples.push_back(c->samples());
+    s.passes.push_back(c->passes());
+  }
+  return s;
+}
+
+std::vector<std::unique_ptr<CandidateYield>> make_pool(
+    const YieldProblem& problem, int count) {
+  std::vector<std::unique_ptr<CandidateYield>> owners;
+  for (int i = 0; i < count; ++i) {
+    const double r = 0.08 * i;
+    owners.push_back(std::make_unique<CandidateYield>(
+        problem, std::vector<double>{r, 0.0},
+        stats::derive_seed(4242, static_cast<std::uint64_t>(i))));
+  }
+  return owners;
+}
+
+TwoStageOptions determinism_options() {
+  TwoStageOptions options;
+  options.n0 = 15;
+  options.sim_avg = 35;
+  options.n_max = 120;
+  options.stage2_threshold = 0.8;
+  return options;
+}
+
+TEST(EvalScheduler, TwoStageBitIdenticalAcrossThreadCounts) {
+  const QuadraticYieldProblem problem(2, 6, 1.0, 0.5);
+  const TwoStageOptions options = determinism_options();
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (hardware < 1) hardware = 1;
+
+  std::vector<TallySnapshot> snapshots;
+  std::vector<std::vector<std::size_t>> promotions;
+  for (int threads : {1, 2, hardware}) {
+    ThreadPool pool(threads);
+    EvalScheduler scheduler(pool);
+    SimCounter sims;
+    auto owners = make_pool(problem, 10);
+    std::vector<CandidateYield*> cands;
+    for (auto& c : owners) {
+      c->screen_nominal(sims);
+      cands.push_back(c.get());
+    }
+    promotions.push_back(
+        two_stage_estimate(cands, options, scheduler, sims));
+    snapshots.push_back(snapshot(owners));
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i], snapshots[0]) << "thread-count variant " << i;
+    EXPECT_EQ(promotions[i], promotions[0]);
+  }
+}
+
+TEST(EvalScheduler, TwoStageMatchesPerCandidatePath) {
+  // The batched scheduler must reproduce the pre-refactor per-candidate
+  // flow bit-for-bit: same seeds, same round structure, same tallies.  The
+  // reference below replays the old algorithm with one refine() (= one
+  // pool barrier) per candidate per round.
+  const QuadraticYieldProblem problem(2, 6, 1.0, 0.5);
+  const TwoStageOptions options = determinism_options();
+  ThreadPool pool(4);
+
+  // --- batched path ---
+  auto batched_owners = make_pool(problem, 10);
+  std::vector<std::size_t> batched_promoted;
+  {
+    EvalScheduler scheduler(pool);
+    SimCounter sims;
+    std::vector<CandidateYield*> cands;
+    for (auto& c : batched_owners) {
+      c->screen_nominal(sims);
+      cands.push_back(c.get());
+    }
+    batched_promoted = two_stage_estimate(cands, options, scheduler, sims);
+  }
+
+  // --- per-candidate reference (the pre-refactor loop) ---
+  auto reference_owners = make_pool(problem, 10);
+  std::vector<std::size_t> reference_promoted;
+  {
+    SimCounter sims;
+    std::vector<CandidateYield*> cands;
+    for (auto& c : reference_owners) {
+      c->screen_nominal(sims);
+      cands.push_back(c.get());
+    }
+    const std::size_t s = cands.size();
+    long long initial_total = 0;
+    long long num_new = 0;
+    for (const CandidateYield* c : cands) {
+      initial_total += c->samples();
+      if (c->samples() < options.n0) ++num_new;
+    }
+    for (CandidateYield* c : cands) {
+      if (c->samples() < options.n0) {
+        c->refine(options.n0 - c->samples(), pool, sims, options.mc);
+      }
+    }
+    const long long total_budget =
+        initial_total + static_cast<long long>(options.sim_avg) * num_new;
+    const long long delta = std::max<long long>(
+        static_cast<long long>(s), total_budget / 10);
+    while (true) {
+      long long used = 0;
+      for (const CandidateYield* c : cands) used += c->samples();
+      if (used >= total_budget) break;
+      const long long round_total = std::min(total_budget, used + delta);
+      std::vector<double> means(s), variances(s);
+      for (std::size_t i = 0; i < s; ++i) {
+        means[i] = cands[i]->mean();
+        variances[i] = cands[i]->smoothed_variance();
+      }
+      const auto target = ocba_allocation(means, variances, round_total);
+      long long allowance = round_total - used;
+      long long added = 0;
+      for (std::size_t i = 0; i < s && allowance > 0; ++i) {
+        long long extra = target[i] - cands[i]->samples();
+        extra = std::min(extra, static_cast<long long>(options.n_max) -
+                                    cands[i]->samples());
+        extra = std::min(extra, allowance);
+        if (extra > 0) {
+          cands[i]->refine(extra, pool, sims, options.mc);
+          added += extra;
+          allowance -= extra;
+        }
+      }
+      if (added == 0) break;
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      if (cands[i]->mean() > options.stage2_threshold &&
+          cands[i]->samples() < options.n_max) {
+        cands[i]->refine(options.n_max - cands[i]->samples(), pool, sims,
+                         options.mc);
+        reference_promoted.push_back(i);
+      } else if (cands[i]->samples() >= options.n_max) {
+        reference_promoted.push_back(i);
+      }
+    }
+  }
+
+  EXPECT_EQ(snapshot(batched_owners), snapshot(reference_owners));
+  EXPECT_EQ(batched_promoted, reference_promoted);
+}
+
+TEST(EvalScheduler, ChunkSizeDoesNotAffectTallies) {
+  const QuadraticYieldProblem problem(2, 6, 1.0, 0.5);
+  ThreadPool pool(4);
+  TallySnapshot reference;
+  for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{1000}}) {
+    SchedulerOptions options;
+    options.chunk = chunk;
+    EvalScheduler scheduler(pool, options);
+    SimCounter sims;
+    auto owners = make_pool(problem, 6);
+    for (auto& c : owners) scheduler.enqueue(*c, 101, McOptions{});
+    scheduler.flush(sims);
+    const TallySnapshot s = snapshot(owners);
+    if (reference.samples.empty()) {
+      reference = s;
+    } else {
+      EXPECT_EQ(s, reference) << "chunk " << chunk;
+    }
+  }
+}
+
+// --- Per-phase accounting -------------------------------------------------
+
+TEST(SimCounter, TwoStagePhaseBreakdown) {
+  const QuadraticYieldProblem problem(2, 6, 1.0, 0.5);
+  TwoStageOptions options = determinism_options();
+  ThreadPool pool(4);
+  EvalScheduler scheduler(pool);
+  SimCounter sims;
+  auto owners = make_pool(problem, 10);
+  std::vector<CandidateYield*> cands;
+  for (auto& c : owners) {
+    c->screen_nominal(sims);
+    cands.push_back(c.get());
+  }
+  two_stage_estimate(cands, options, scheduler, sims);
+
+  const SimBreakdown b = sims.breakdown();
+  EXPECT_EQ(b.screen, 10);
+  EXPECT_EQ(b.stage1, 10LL * options.n0);
+  EXPECT_GT(b.ocba, 0);
+  EXPECT_EQ(b.other, 0);
+  EXPECT_EQ(b.total(), sims.total());
+  long long tallied = 0;
+  for (const auto& c : owners) tallied += c->samples();
+  EXPECT_EQ(tallied + b.screen, b.total());
+}
+
+}  // namespace
+}  // namespace moheco::mc
