@@ -8,6 +8,7 @@
 #include "src/common/log.hpp"
 #include "src/common/parallel.hpp"
 #include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
 #include "src/stats/rng.hpp"
 #include "src/stats/summary.hpp"
 
@@ -84,7 +85,12 @@ StudyData run_example_study(const std::string& study_key,
     }
   }
 
+  // One scheduler for every reference run of the study: repeated estimates
+  // of the same design point (across methods or runs) revive their sessions
+  // from the warm-start blob store instead of re-running the nominal
+  // measurement.
   ThreadPool reference_pool(bench.threads);
+  mc::EvalScheduler reference_scheduler(reference_pool);
   for (const MethodSpec& method : methods) {
     std::vector<double> deviations, simulations;
     for (int run = 0; run < bench.runs; ++run) {
@@ -97,7 +103,7 @@ StudyData run_example_study(const std::string& study_key,
       if (result.best.fitness.feasible) {
         const double reference = mc::reference_yield(
             problem, result.best.x, bench.reference_samples,
-            stats::derive_seed(bench.seed, 0xFEF, run), reference_pool);
+            stats::derive_seed(bench.seed, 0xFEF, run), reference_scheduler);
         deviation = std::fabs(result.best.fitness.yield - reference);
       }
       deviations.push_back(deviation);
@@ -179,6 +185,18 @@ std::string json_sim_breakdown(const mc::SimBreakdown& breakdown) {
                 "\"stage2\":%lld,\"other\":%lld,\"total\":%lld}",
                 breakdown.screen, breakdown.stage1, breakdown.ocba,
                 breakdown.stage2, breakdown.other, breakdown.total());
+  return buffer;
+}
+
+std::string json_sched_breakdown(const mc::SchedBreakdown& breakdown) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"session_hits\":%lld,\"cold_opens\":%lld,"
+                "\"warm_opens\":%lld,\"affinity_hits\":%lld,"
+                "\"steals\":%lld,\"migrations\":%lld}",
+                breakdown.session_hits, breakdown.cold_opens,
+                breakdown.warm_opens, breakdown.affinity_hits,
+                breakdown.steals, breakdown.migrations);
   return buffer;
 }
 

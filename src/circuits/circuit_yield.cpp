@@ -1,28 +1,15 @@
 #include "src/circuits/circuit_yield.hpp"
 
 namespace moheco::circuits {
-namespace {
 
-class CircuitSession final : public mc::YieldProblem::Session {
- public:
-  CircuitSession(const AmplifierEvaluator& evaluator,
-                 std::span<const double> x, std::span<const Spec> specs)
-      : session_(evaluator.session(x)), specs_(specs) {}
-
-  mc::SampleResult evaluate(std::span<const double> xi) override {
-    const Performance perf = session_->evaluate(xi);
-    mc::SampleResult r;
-    r.pass = passes(perf, specs_);
-    r.violation = r.pass ? 0.0 : violation(perf, specs_);
-    return r;
-  }
-
- private:
-  std::unique_ptr<AmplifierEvaluator::Session> session_;
-  std::span<const Spec> specs_;
-};
-
-}  // namespace
+mc::SampleResult CircuitYieldProblem::CircuitSession::evaluate(
+    std::span<const double> xi) {
+  const Performance perf = session_->evaluate(xi);
+  mc::SampleResult r;
+  r.pass = passes(perf, specs_);
+  r.violation = r.pass ? 0.0 : violation(perf, specs_);
+  return r;
+}
 
 CircuitYieldProblem::CircuitYieldProblem(
     std::shared_ptr<const Topology> topology, EvalOptions options)
@@ -55,6 +42,11 @@ std::size_t CircuitYieldProblem::noise_dim() const {
 std::unique_ptr<mc::YieldProblem::Session> CircuitYieldProblem::open(
     std::span<const double> x) const {
   return std::make_unique<CircuitSession>(evaluator_, x, specs_);
+}
+
+std::unique_ptr<mc::YieldProblem::Session> CircuitYieldProblem::open_warm(
+    std::span<const double> x, std::span<const double> blob) const {
+  return std::make_unique<CircuitSession>(evaluator_, x, specs_, blob);
 }
 
 }  // namespace moheco::circuits

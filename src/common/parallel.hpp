@@ -1,9 +1,15 @@
 // Worker pool for Monte-Carlo batch evaluation.
 //
-// Two entry points share one set of persistent workers:
+// Three entry points share one set of persistent workers:
 //   - parallel_for(count, fn): a homogeneous index range.  Workers claim
 //     contiguous chunks of indices from an atomic counter (not one index at
 //     a time), so cheap per-item work does not serialize on the counter.
+//   - parallel_for_sharded(queues, fn): a sharded job set with stealing.
+//     Each worker first drains its own queue front-to-back, then steals
+//     from the other queues round-robin.  This is the substrate for the
+//     EvalScheduler's sticky candidate->worker affinity: items routed to a
+//     worker's own queue run on that worker unless load imbalance forces a
+//     steal.
 //   - run_tasks(tasks): a heterogeneous job set (e.g. one generation's
 //     evaluation batches across many candidates), claimed one task at a
 //     time in submission order.
@@ -17,6 +23,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <vector>
 
 namespace moheco {
 
@@ -39,6 +46,16 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(int, std::size_t)>& fn,
                     std::size_t grain = 0);
+
+  /// Sharded claiming with work stealing: `queues[s]` lists the item ids
+  /// owned by shard s.  Worker w drains queues[w % queues.size()] in order
+  /// first, then steals from the remaining queues round-robin (one item per
+  /// claim, so a long stolen queue still spreads).  Runs fn(worker_id, item)
+  /// exactly once per queued item; blocks until all items finish.  Item ids
+  /// are caller-defined (duplicates across queues are run once per listing).
+  /// Exceptions thrown by fn are rethrown (first one wins).
+  void parallel_for_sharded(std::span<const std::vector<std::size_t>> queues,
+                            const std::function<void(int, std::size_t)>& fn);
 
   /// Task-submission API: runs every task(worker_id) exactly once; blocks
   /// until all tasks finish.  Tasks are claimed one at a time in submission

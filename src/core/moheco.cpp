@@ -29,6 +29,15 @@ MohecoOptimizer::MohecoOptimizer(const mc::YieldProblem& problem,
   }
 }
 
+void MohecoOptimizer::refresh_population_fitness() {
+  for (Member& m : population_) {
+    if (m.tally) {
+      m.fitness.yield = m.tally->mean();
+      m.samples = m.tally->samples();
+    }
+  }
+}
+
 std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     const std::vector<std::vector<double>>& xs, GenerationTrace* trace) {
   const std::size_t count = xs.size();
@@ -40,13 +49,25 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
         stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_)));
   }
 
+  // Generation overlap: the previous generation's stage-2 promotion batches
+  // may still be pending on the scheduler.  With overlap on they are
+  // evaluated together with this generation's nominal screens as one job
+  // set; with overlap off they drain in their own flush first.  Either way
+  // they land in the tallies before this generation's OCBA pool reads them,
+  // so the tallies are bit-identical across the two modes.
+  if (!options_.overlap_generations) scheduler_.flush(sims_);
+
   // Acceptance-sampling screen: nominal feasibility of the whole generation
-  // as one batched task set on the scheduler (sessions opened here stay
+  // as one batched job set on the scheduler (sessions opened here stay
   // cached for the estimation below).
   std::vector<mc::CandidateYield*> screen_batch;
   screen_batch.reserve(count);
   for (auto& c : candidates) screen_batch.push_back(c.get());
   scheduler_.screen(screen_batch, sims_);
+
+  // The deferred stage-2 samples just landed; refresh the surviving
+  // population's fitness before the new OCBA pool is assembled.
+  refresh_population_fitness();
 
   // The OO candidate pool of this generation: feasible new candidates plus
   // the feasible current population (whose tallies persist and keep
@@ -60,16 +81,22 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     for (Member& m : population_) {
       if (m.tally) ocba_pool.push_back(m.tally.get());
     }
-    mc::two_stage_estimate(ocba_pool, options_.estimation, scheduler_, sims_);
-    // Refresh population fitness after refinement.
+    // Stage-2 batches stay pending (streams already consumed) and run
+    // merged with the next generation's screens -- see overlap_generations.
+    mc::two_stage_estimate(ocba_pool, options_.estimation, scheduler_, sims_,
+                           /*flush_stage2=*/false);
+    // A candidate with a pending stage-2 batch can lose the upcoming Deb
+    // selection (or a parent can be replaced) and be dropped before the
+    // deferred flush runs; the scheduler keeps them alive until then.
+    for (const auto& c : candidates) scheduler_.retain(c);
     for (Member& m : population_) {
-      if (m.tally) {
-        m.fitness.yield = m.tally->mean();
-        m.samples = m.tally->samples();
-      }
+      if (m.tally) scheduler_.retain(m.tally);
     }
+    // Refresh population fitness after the stage-1/OCBA refinement.
+    refresh_population_fitness();
   } else {
-    // Fixed-budget baseline: still one generation-wide job set.
+    // Fixed-budget baseline: still one generation-wide job set (no stage 2,
+    // so nothing to defer).
     for (mc::CandidateYield* c : ocba_pool) {
       scheduler_.enqueue(*c, options_.fixed_budget - c->samples(),
                          options_.estimation.mc);
@@ -176,6 +203,9 @@ MohecoResult MohecoOptimizer::run_generations(int generations) {
 MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   MohecoResult result;
   sims_.reset();
+  // A previous run that threw mid-generation can leave deferred stage-2
+  // jobs (and their keep-alives) on the scheduler; drop them untallied.
+  scheduler_.discard_pending();
   population_.clear();
   stream_counter_ = 0;
   last_local_search_x_.clear();
@@ -264,6 +294,21 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
       stagnant_ls = 0;
     }
 
+    // A best member at 100% may have its stage-2 promotion still pending
+    // (deferred into the next generation's job set); drain it now -- flush
+    // boundaries never change tallies, and this runs identically with the
+    // overlap on or off -- so a run that genuinely reached full yield at
+    // n_report stops here instead of paying one more generation of screens
+    // and pilots before noticing.
+    {
+      const Member& maybe = population_[best_index()];
+      if (maybe.fitness.feasible && maybe.fitness.yield >= 1.0 &&
+          maybe.samples < n_report && scheduler_.has_pending()) {
+        scheduler_.flush(sims_);
+        refresh_population_fitness();
+      }
+    }
+
     const Member& b = population_[best_index()];
     trace.best_yield = b.fitness.yield;
     trace.best_feasible = b.fitness.feasible;
@@ -284,6 +329,11 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     if (stagnant_stop >= options_.stop_stagnation) break;
   }
 
+  // Drain the last generation's deferred stage-2 batches and fold them into
+  // the population fitnesses before picking the reported best.
+  scheduler_.flush(sims_);
+  refresh_population_fitness();
+
   // Report the best member with an accurate (n_report) estimate; its tally
   // persists, so only the missing samples are drawn.
   Member best = population_[best_index()];
@@ -303,6 +353,7 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   }
   result.best = std::move(best);
   result.sim_breakdown = sims_.breakdown();
+  result.sched_breakdown = sims_.sched_breakdown();
   result.total_simulations = result.sim_breakdown.total();
   return result;
 }

@@ -17,6 +17,14 @@
 //   Deb-rule one-to-one selection -> optional Nelder-Mead local search on
 //   the best member after 5 stagnant generations -> stop at 100% reported
 //   yield or 20 stagnant generations.
+//
+// Scheduling: the loop is pipelined across generations.  Stage-2 promotion
+// batches of generation g are enqueued when promotion is decided (from the
+// stage-1 tallies) but evaluated together with generation g+1's nominal
+// screens as one overlapping job set on the EvalScheduler, whose sticky
+// candidate->worker affinity and warm-start blob store keep hot candidates'
+// evaluator sessions warm across rounds and generations.  See
+// MohecoOptions::overlap_generations and src/mc/eval_scheduler.hpp.
 #pragma once
 
 #include <cstdint>
@@ -51,9 +59,19 @@ struct MohecoOptions {
   int max_generations = 200;
   int threads = 0;                ///< MC worker threads; 0 = hardware
   /// Generation-wide evaluation scheduler knobs (per-worker session-cache
-  /// capacity, chunk size).  The optimizer owns one EvalScheduler for its
-  /// whole run, so session caches persist across generations.
+  /// capacity, chunk size, sticky affinity, warm-start blob store).  The
+  /// optimizer owns one EvalScheduler for its whole run, so session caches
+  /// persist across generations.
   mc::SchedulerOptions scheduler;
+  /// Pipelined generation overlap: the stage-2 promotion batches of
+  /// generation g are enqueued (streams consumed, promotion decided from
+  /// stage-1 tallies) but evaluated together with the nominal screens of
+  /// generation g+1 as ONE job set, instead of in their own pool barrier.
+  /// Stage-2 samples land in the tallies before generation g+1's OCBA pool
+  /// reads them, and the sample streams are identical either way, so yield
+  /// tallies are bit-identical with the overlap on or off (the off setting
+  /// drains the deferred batches in a separate flush at the same point).
+  bool overlap_generations = true;
   std::uint64_t seed = 1;
 };
 
@@ -94,6 +112,9 @@ struct MohecoResult {
   /// Per-phase split of total_simulations (screen / stage-1 / OCBA rounds /
   /// stage-2 / other), for the ablation benches' budget accounting.
   mc::SimBreakdown sim_breakdown;
+  /// Warm-path scheduler events of the run (session cache hits, cold/warm
+  /// opens, affinity hits, steals, migrations).
+  mc::SchedBreakdown sched_breakdown;
   int generations = 0;
   bool reached_full_yield = false;
   std::vector<GenerationTrace> trace;
@@ -129,6 +150,10 @@ class MohecoOptimizer {
   Evaluated evaluate_accurate(std::span<const double> x);
 
   std::size_t best_index() const;
+  /// Folds each surviving member's tally back into its fitness/samples.
+  /// Must run after every flush point that can land deferred stage-2
+  /// samples, or selection would read stale yields.
+  void refresh_population_fitness();
   void local_search(Member& best, GenerationTrace* trace);
   MohecoResult run_impl(int max_generations);
 

@@ -84,23 +84,28 @@ double CandidateYield::smoothed_variance() const {
 double reference_yield(const YieldProblem& problem, std::span<const double> x,
                        long long count, std::uint64_t seed, ThreadPool& pool,
                        stats::SamplingMethod sampling) {
+  EvalScheduler scheduler(pool);
+  return reference_yield(problem, x, count, seed, scheduler, sampling);
+}
+
+double reference_yield(const YieldProblem& problem, std::span<const double> x,
+                       long long count, std::uint64_t seed,
+                       EvalScheduler& scheduler, stats::SamplingMethod sampling,
+                       SimCounter* sims) {
   require(count > 0, "reference_yield: count must be positive");
+  require(!scheduler.has_pending(),
+          "reference_yield: scheduler has deferred jobs; flush them first");
   const std::size_t dim = problem.noise_dim();
-  const linalg::MatrixD samples = stats::sample_standard_normal(
+  // The stream is keyed by `seed` alone (not a candidate stream), so the
+  // estimate is unchanged from the pre-scheduler implementation.
+  linalg::MatrixD samples = stats::sample_standard_normal(
       sampling, static_cast<std::size_t>(count), dim, seed);
-  std::vector<std::unique_ptr<YieldProblem::Session>> sessions(
-      static_cast<std::size_t>(pool.num_workers()));
-  std::atomic<long long> pass_count{0};
-  pool.parallel_for(static_cast<std::size_t>(count),
-                    [&](int worker, std::size_t i) {
-                      auto& slot = sessions[static_cast<std::size_t>(worker)];
-                      if (!slot) slot = problem.open(x);
-                      const SampleResult r = slot->evaluate({samples.row(i), dim});
-                      if (r.pass) {
-                        pass_count.fetch_add(1, std::memory_order_relaxed);
-                      }
-                    });
-  return static_cast<double>(pass_count.load()) / static_cast<double>(count);
+  CandidateYield tally(problem, std::vector<double>(x.begin(), x.end()),
+                       seed);
+  SimCounter local;
+  scheduler.enqueue_samples(tally, std::move(samples));
+  scheduler.flush(sims != nullptr ? *sims : local);
+  return tally.mean();
 }
 
 }  // namespace moheco::mc

@@ -92,9 +92,24 @@ class CandidateYield {
 
 /// Reference yield estimate with `count` fresh samples (used to compute the
 /// deviation columns of Tables 1 and 3; does not touch any SimCounter).
+/// Routed through a per-call EvalScheduler, so the chunk scheduling matches
+/// the optimizer's; the sample stream is drawn from `seed` directly and is
+/// identical to earlier per-candidate implementations.
 double reference_yield(const YieldProblem& problem, std::span<const double> x,
                        long long count, std::uint64_t seed, ThreadPool& pool,
                        stats::SamplingMethod sampling =
                            stats::SamplingMethod::kPMC);
+
+/// Same estimate on a caller-owned scheduler: repeated reference runs reuse
+/// cached sessions, and a re-estimate of a design point whose session was
+/// evicted revives it from the scheduler's warm-start blob store instead of
+/// re-running the nominal measurement.  When `sims` is non-null the samples
+/// are counted under SimPhase::kOther (plus the scheduler events).
+double reference_yield(const YieldProblem& problem, std::span<const double> x,
+                       long long count, std::uint64_t seed,
+                       EvalScheduler& scheduler,
+                       stats::SamplingMethod sampling =
+                           stats::SamplingMethod::kPMC,
+                       SimCounter* sims = nullptr);
 
 }  // namespace moheco::mc

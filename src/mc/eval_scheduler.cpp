@@ -1,11 +1,24 @@
 #include "src/mc/eval_scheduler.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <cstring>
 
 #include "src/common/error.hpp"
 
 namespace moheco::mc {
+
+std::uint64_t design_hash(std::span<const double> x) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (double v : x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
 
 EvalScheduler::EvalScheduler(ThreadPool& pool, SchedulerOptions options)
     : pool_(&pool),
@@ -13,10 +26,40 @@ EvalScheduler::EvalScheduler(ThreadPool& pool, SchedulerOptions options)
       caches_(static_cast<std::size_t>(pool.num_workers())) {
   require(options_.sessions_per_worker > 0,
           "EvalScheduler: sessions_per_worker must be positive");
+  require(options_.warm_start_blobs >= 0,
+          "EvalScheduler: warm_start_blobs must be non-negative");
   for (auto& cache : caches_) {
     cache.entries.reserve(
         static_cast<std::size_t>(options_.sessions_per_worker));
   }
+}
+
+void EvalScheduler::park_blob(std::uint64_t x_hash,
+                              const YieldProblem* problem,
+                              const YieldProblem::Session& session) {
+  if (options_.warm_start_blobs <= 0) return;
+  std::vector<double> blob = session.warm_start_blob();
+  if (blob.empty()) return;  // problem does not support warm starts
+  std::lock_guard<std::mutex> lock(blob_mutex_);
+  ++blob_tick_;
+  auto it = blobs_.find(x_hash);
+  if (it != blobs_.end()) {
+    it->second.problem = problem;
+    it->second.blob = std::move(blob);
+    it->second.tick = blob_tick_;
+    return;
+  }
+  if (blobs_.size() >= static_cast<std::size_t>(options_.warm_start_blobs)) {
+    // Evict the least-recently-touched blob.  Linear scan is fine: parking
+    // only happens on session eviction, orders of magnitude rarer than
+    // sample evaluations.
+    auto victim = blobs_.begin();
+    for (auto jt = blobs_.begin(); jt != blobs_.end(); ++jt) {
+      if (jt->second.tick < victim->second.tick) victim = jt;
+    }
+    blobs_.erase(victim);
+  }
+  blobs_.emplace(x_hash, BlobEntry{problem, std::move(blob), blob_tick_});
 }
 
 YieldProblem::Session* EvalScheduler::session_for(int worker,
@@ -30,7 +73,20 @@ YieldProblem::Session* EvalScheduler::session_for(int worker,
       return entry.session.get();
     }
   }
-  session_opens_.fetch_add(1, std::memory_order_relaxed);
+  // Identity miss: adopt a session of the same (problem, design) under the
+  // new candidate id.  Sample results are pure functions of (x, xi), so the
+  // session serves the new identity verbatim; the exact-x comparison guards
+  // against hash collisions.
+  const std::uint64_t lookup_hash = design_hash(tally.x());
+  for (CacheEntry& entry : cache.entries) {
+    if (entry.session && entry.x_hash == lookup_hash &&
+        entry.problem == &tally.problem() && entry.x == tally.x()) {
+      entry.key = tally.id();
+      entry.tick = cache.tick;
+      session_hits_.fetch_add(1, std::memory_order_relaxed);
+      return entry.session.get();
+    }
+  }
   CacheEntry* slot = nullptr;
   if (cache.entries.size() <
       static_cast<std::size_t>(options_.sessions_per_worker)) {
@@ -40,21 +96,42 @@ YieldProblem::Session* EvalScheduler::session_for(int worker,
   } else {
     // Evict the least-recently-used session before opening the replacement,
     // so the live-session bound of capacity * workers is never exceeded,
-    // even transiently.
+    // even transiently.  The evicted session's warm-start state is parked
+    // in the blob store so a revival skips the nominal re-measurement.
     slot = &cache.entries.front();
     for (CacheEntry& entry : cache.entries) {
       if (entry.tick < slot->tick) slot = &entry;
     }
     if (slot->session) {
+      park_blob(slot->x_hash, slot->problem, *slot->session);
       slot->session.reset();
       live_sessions_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
-  // open() may throw (e.g. a failing nominal solve); the slot is then left
-  // empty (null session, skipped by lookups and recycled first by the LRU
-  // scan), keeping the cache and the live-session accounting valid.
-  slot->session = tally.problem().open(tally.x());
+  const std::uint64_t x_hash = lookup_hash;
+  std::vector<double> blob;
+  if (options_.warm_start_blobs > 0) {
+    std::lock_guard<std::mutex> lock(blob_mutex_);
+    auto it = blobs_.find(x_hash);
+    if (it != blobs_.end() && it->second.problem == &tally.problem()) {
+      it->second.tick = ++blob_tick_;
+      blob = it->second.blob;  // copy: the entry may be evicted concurrently
+    }
+  }
+  // open()/open_warm() may throw (e.g. a failing nominal solve); the slot is
+  // then left empty (null session, skipped by lookups and recycled first by
+  // the LRU scan), keeping the cache and the live-session accounting valid.
+  if (!blob.empty()) {
+    slot->session = tally.problem().open_warm(tally.x(), blob);
+    warm_opens_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot->session = tally.problem().open(tally.x());
+    cold_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
   slot->key = tally.id();
+  slot->x_hash = x_hash;
+  slot->problem = &tally.problem();
+  slot->x.assign(tally.x().begin(), tally.x().end());
   slot->tick = cache.tick;
   const std::size_t live =
       live_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -66,19 +143,79 @@ YieldProblem::Session* EvalScheduler::session_for(int worker,
 }
 
 void EvalScheduler::enqueue(CandidateYield& tally, long long count,
-                            const McOptions& options) {
+                            const McOptions& options, SimPhase phase) {
   if (count <= 0) return;
   PendingJob job;
   job.tally = &tally;
   job.samples = tally.next_batch(count, options);
   job.count = count;
+  job.phase = phase;
   pending_.push_back(std::move(job));
 }
 
+void EvalScheduler::enqueue_samples(CandidateYield& tally,
+                                    linalg::MatrixD samples, SimPhase phase) {
+  if (samples.rows() == 0) return;
+  require(samples.cols() == tally.problem().noise_dim(),
+          "EvalScheduler: sample batch dimension mismatch");
+  PendingJob job;
+  job.tally = &tally;
+  job.count = static_cast<long long>(samples.rows());
+  job.samples = std::move(samples);
+  job.phase = phase;
+  pending_.push_back(std::move(job));
+}
+
+void EvalScheduler::enqueue_screen(CandidateYield& tally) {
+  if (tally.screened()) return;
+  PendingJob job;
+  job.tally = &tally;
+  job.screen = true;
+  job.phase = SimPhase::kScreen;
+  pending_.push_back(std::move(job));
+}
+
+void EvalScheduler::retain(std::shared_ptr<CandidateYield> tally) {
+  if (tally) retained_.push_back(std::move(tally));
+}
+
+void EvalScheduler::discard_pending() {
+  pending_.clear();
+  retained_.clear();
+}
+
+int EvalScheduler::preferred_worker(const CandidateYield& tally,
+                                    std::vector<long long>& load,
+                                    long long weight) {
+  // Stale-hint backstop for very long-lived schedulers: hints only affect
+  // placement cost, so dropping them is always safe.
+  if (preferred_.size() > (1u << 20)) preferred_.clear();
+  auto [it, inserted] = preferred_.try_emplace(tally.id(), 0);
+  if (inserted) {
+    // New candidate: greedy least-loaded assignment (lowest worker id wins
+    // ties), so the first flush stays balanced and later flushes stay put.
+    int best = 0;
+    for (int w = 1; w < static_cast<int>(load.size()); ++w) {
+      if (load[static_cast<std::size_t>(w)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = w;
+      }
+    }
+    it->second = best;
+  }
+  load[static_cast<std::size_t>(it->second)] += weight;
+  return it->second;
+}
+
 void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
-  if (pending_.empty()) return;
+  if (pending_.empty()) {
+    retained_.clear();
+    return;
+  }
   long long total = 0;
-  for (const PendingJob& job : pending_) total += job.count;
+  for (const PendingJob& job : pending_) {
+    if (!job.screen) total += job.count;
+  }
 
   std::size_t chunk = options_.chunk;
   if (chunk == 0) {
@@ -86,6 +223,16 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
         static_cast<std::size_t>(total) /
             (4 * static_cast<std::size_t>(pool_->num_workers())),
         1, 64);
+  }
+
+  // Sticky routing: every job goes to its candidate's preferred worker; new
+  // candidates are placed on the least-loaded queue.  The assignment itself
+  // never affects tallies, only where sessions get built.
+  std::vector<long long> load(static_cast<std::size_t>(pool_->num_workers()),
+                              0);
+  for (PendingJob& job : pending_) {
+    job.preferred = preferred_worker(*job.tally, load,
+                                     job.screen ? 1 : job.count);
   }
 
   // One task per (job, row range); all tasks of a round drain as one pool
@@ -100,6 +247,10 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
   tasks.reserve(pending_.size() +
                 static_cast<std::size_t>(total) / std::max<std::size_t>(chunk, 1));
   for (std::size_t j = 0; j < pending_.size(); ++j) {
+    if (pending_[j].screen) {
+      tasks.push_back({j, 0, 1});
+      continue;
+    }
     const std::size_t rows = static_cast<std::size_t>(pending_[j].count);
     for (std::size_t begin = 0; begin < rows; begin += chunk) {
       tasks.push_back({j, begin, std::min(rows, begin + chunk)});
@@ -108,66 +259,156 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
 
   // Per-task pass counts summed sequentially afterwards: integer tallies in
   // a fixed order, so the result is independent of scheduling.  On an
-  // evaluation error the queued batches are dropped (their stream
-  // positions stay consumed, nothing is tallied) so a later flush does not
-  // replay the failing jobs.
+  // evaluation error the queued jobs are dropped (their stream positions
+  // stay consumed, nothing is tallied) so a later flush does not replay the
+  // failing jobs.
   std::vector<long long> task_passes(tasks.size(), 0);
+  std::vector<int> task_worker(tasks.size(), -1);
+  std::vector<SampleResult> screen_results(pending_.size());
+  const auto evaluate_task = [&](int worker, std::size_t t) {
+    const Task& task = tasks[t];
+    PendingJob& job = pending_[task.job];
+    YieldProblem::Session* session = session_for(worker, *job.tally);
+    task_worker[t] = worker;
+    if (job.screen) {
+      screen_results[task.job] = session->evaluate({});
+      return;
+    }
+    const std::size_t dim = job.tally->problem().noise_dim();
+    long long passes = 0;
+    for (std::size_t i = task.begin; i < task.end; ++i) {
+      if (session->evaluate({job.samples.row(i), dim}).pass) ++passes;
+    }
+    task_passes[t] = passes;
+  };
+
+  const long long hits_before = session_hits();
+  const long long cold_before = cold_opens_.load(std::memory_order_relaxed);
+  const long long warm_before = warm_opens_.load(std::memory_order_relaxed);
   try {
-    pool_->parallel_for(
-        tasks.size(),
-        [&](int worker, std::size_t t) {
-          const Task& task = tasks[t];
-          PendingJob& job = pending_[task.job];
-          YieldProblem::Session* session = session_for(worker, *job.tally);
-          const std::size_t dim = job.tally->problem().noise_dim();
-          long long passes = 0;
-          for (std::size_t i = task.begin; i < task.end; ++i) {
-            if (session->evaluate({job.samples.row(i), dim}).pass) ++passes;
-          }
-          task_passes[t] = passes;
-        },
-        /*grain=*/1);
+    if (options_.sticky && pool_->num_workers() > 1) {
+      std::vector<std::vector<std::size_t>> queues(
+          static_cast<std::size_t>(pool_->num_workers()));
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        queues[static_cast<std::size_t>(pending_[tasks[t].job].preferred)]
+            .push_back(t);
+      }
+      pool_->parallel_for_sharded(queues, evaluate_task);
+    } else {
+      pool_->parallel_for(tasks.size(), evaluate_task, /*grain=*/1);
+    }
   } catch (...) {
     pending_.clear();
+    retained_.clear();
     throw;
   }
 
-  std::size_t t = 0;
-  for (std::size_t j = 0; j < pending_.size(); ++j) {
-    long long passes = 0;
-    for (; t < tasks.size() && tasks[t].job == j; ++t) passes += task_passes[t];
-    pending_[j].tally->record(pending_[j].count, passes);
+  // Affinity accounting + migration: if every task of a job ran on one
+  // worker that is not the preferred one, re-point the candidate there so
+  // the next flush finds the session already warm.
+  long long flush_hits = 0, flush_steals = 0, flush_migrations = 0;
+  {
+    std::size_t t = 0;
+    for (std::size_t j = 0; j < pending_.size(); ++j) {
+      int uniform_worker = -2;  // -2: unset, -1: mixed
+      for (; t < tasks.size() && tasks[t].job == j; ++t) {
+        if (task_worker[t] == pending_[j].preferred) {
+          ++flush_hits;
+        } else {
+          ++flush_steals;
+        }
+        if (uniform_worker == -2) {
+          uniform_worker = task_worker[t];
+        } else if (uniform_worker != task_worker[t]) {
+          uniform_worker = -1;
+        }
+      }
+      if (uniform_worker >= 0 && uniform_worker != pending_[j].preferred) {
+        preferred_[pending_[j].tally->id()] = uniform_worker;
+        ++flush_migrations;
+      }
+    }
   }
-  sims.add(total, phase);
+  affinity_hits_.fetch_add(flush_hits, std::memory_order_relaxed);
+  steals_.fetch_add(flush_steals, std::memory_order_relaxed);
+  migrations_.fetch_add(flush_migrations, std::memory_order_relaxed);
+
+  // Tally updates in job order: bit-identical no matter how the tasks were
+  // scheduled.  Screens count under kScreen via record_nominal; batches
+  // count under their enqueue phase (kOther defers to the flush phase).
+  long long phase_totals[kNumSimPhases] = {};
+  {
+    std::size_t t = 0;
+    for (std::size_t j = 0; j < pending_.size(); ++j) {
+      PendingJob& job = pending_[j];
+      if (job.screen) {
+        ++t;
+        job.tally->record_nominal(screen_results[j], sims);
+        continue;
+      }
+      long long passes = 0;
+      for (; t < tasks.size() && tasks[t].job == j; ++t) {
+        passes += task_passes[t];
+      }
+      job.tally->record(job.count, passes);
+      const SimPhase counted =
+          job.phase == SimPhase::kOther ? phase : job.phase;
+      phase_totals[static_cast<std::size_t>(counted)] += job.count;
+    }
+  }
+  for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+    if (phase_totals[p] > 0) {
+      sims.add(phase_totals[p], static_cast<SimPhase>(p));
+    }
+  }
+  sims.add_event(SchedEvent::kSessionHit, session_hits() - hits_before);
+  sims.add_event(SchedEvent::kSessionOpenCold,
+                 cold_opens_.load(std::memory_order_relaxed) - cold_before);
+  sims.add_event(SchedEvent::kSessionOpenWarm,
+                 warm_opens_.load(std::memory_order_relaxed) - warm_before);
+  sims.add_event(SchedEvent::kAffinityHit, flush_hits);
+  sims.add_event(SchedEvent::kSteal, flush_steals);
+  sims.add_event(SchedEvent::kMigration, flush_migrations);
   pending_.clear();
+  retained_.clear();
 }
 
 void EvalScheduler::screen(std::span<CandidateYield* const> candidates,
                            SimCounter& sims) {
-  std::vector<CandidateYield*> todo;
   for (CandidateYield* c : candidates) {
-    if (c != nullptr && !c->screened()) todo.push_back(c);
+    if (c != nullptr) enqueue_screen(*c);
   }
-  if (todo.empty()) return;
-  std::vector<SampleResult> results(todo.size());
-  std::vector<std::function<void(int)>> tasks;
-  tasks.reserve(todo.size());
-  for (std::size_t i = 0; i < todo.size(); ++i) {
-    tasks.push_back([this, &results, &todo, i](int worker) {
-      results[i] = session_for(worker, *todo[i])->evaluate({});
-    });
-  }
-  pool_->run_tasks(tasks);
-  for (std::size_t i = 0; i < todo.size(); ++i) {
-    todo[i]->record_nominal(results[i], sims);
-  }
+  flush(sims);
 }
 
 void EvalScheduler::refine(CandidateYield& tally, long long count,
                            SimCounter& sims, const McOptions& options,
                            SimPhase phase) {
-  enqueue(tally, count, options);
+  enqueue(tally, count, options, SimPhase::kOther);
   flush(sims, phase);
+}
+
+void EvalScheduler::for_each(
+    CandidateYield& tally, std::size_t rows,
+    const std::function<void(YieldProblem::Session&, std::size_t)>& fn) {
+  require(pending_.empty(),
+          "EvalScheduler::for_each: flush pending jobs first");
+  if (rows == 0) return;
+  std::size_t chunk = options_.chunk;
+  if (chunk == 0) {
+    chunk = std::clamp<std::size_t>(
+        rows / (4 * static_cast<std::size_t>(pool_->num_workers())), 1, 64);
+  }
+  const std::size_t num_chunks = (rows + chunk - 1) / chunk;
+  pool_->parallel_for(
+      num_chunks,
+      [&](int worker, std::size_t c) {
+        YieldProblem::Session* session = session_for(worker, tally);
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(rows, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(*session, i);
+      },
+      /*grain=*/1);
 }
 
 }  // namespace moheco::mc

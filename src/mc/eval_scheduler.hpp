@@ -5,31 +5,50 @@
 // tiny batch (workers idle while one candidate's handful of samples
 // drained), and every candidate pinned one evaluator session per worker
 // for its whole lifetime (S x W sized netlists and factorizations live at
-// once).  The EvalScheduler fixes both:
+// once).  The EvalScheduler fixes both, and keeps the evaluation pipeline
+// warm end-to-end:
 //
 //   - Batching: callers enqueue() all candidates' sample ranges for a round
 //     and flush() once.  The whole round becomes one chunked job set drained
-//     by the pool with no per-candidate barriers.
+//     by the pool with no per-candidate barriers.  Nominal screens are jobs
+//     too (enqueue_screen), so a deferred stage-2 batch of generation g and
+//     the screens of generation g+1 can run as ONE overlapping job set.
 //   - Session caching: sessions live in per-worker LRU caches keyed by
 //     candidate id.  Peak live sessions are bounded by
 //     sessions_per_worker x workers no matter how many candidates are in
 //     flight, and hot candidates keep their sessions warm across rounds and
 //     generations.
+//   - Sticky affinity: every candidate gets a preferred worker (assigned
+//     greedily by queued load on first sight, re-pointed when a candidate
+//     migrates); a flush routes each candidate's chunks to its preferred
+//     worker's queue and workers steal only after draining their own, so a
+//     hot candidate's session lives on ONE worker instead of being rebuilt
+//     on several.  Affinity hit/steal/migration counts are exposed here and
+//     recorded into the flush's SimCounter.
+//   - Warm-start handoff: when a session is evicted, its warm_start_blob()
+//     (see src/mc/yield_problem.hpp) is parked in a scheduler-wide LRU blob
+//     store keyed by a hash of the design vector; a later cache miss for
+//     the same x revives the session through open_warm(), skipping the
+//     expensive nominal re-measurement.
 //
 // Determinism: enqueue() consumes the candidate's sample stream immediately
 // (batch index and size are fixed at enqueue time), every sample of a batch
 // is evaluated exactly once, and pass counts are integers summed in job
-// order -- so yield tallies are bit-identical across worker counts,
-// chunk sizes, and cache capacities, and identical to the per-candidate
-// refine() path for the same round structure.  This relies on the
-// YieldProblem session-cache contract (see src/mc/yield_problem.hpp):
-// sample results are pure functions of (x, xi).
+// order -- so yield tallies are bit-identical across worker counts, chunk
+// sizes, cache capacities, affinity on/off, and warm starts on/off, and
+// identical to the per-candidate refine() path for the same round
+// structure.  This relies on the YieldProblem session-cache contract (see
+// src/mc/yield_problem.hpp): sample results are pure functions of (x, xi).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/parallel.hpp"
@@ -50,6 +69,13 @@ struct SchedulerOptions {
   /// chunks per worker per flush, capped at 64) so a single large stage-2
   /// batch still spreads across the whole pool.
   std::size_t chunk = 0;
+  /// Sticky candidate->worker affinity: route each candidate's chunks to
+  /// its preferred worker's queue (with stealing) instead of letting any
+  /// worker claim any chunk.  Off replays the PR 3 contiguous claiming.
+  bool sticky = true;
+  /// Capacity of the warm-start blob store (evicted sessions' serialized
+  /// state, keyed by design-vector hash).  0 disables warm starts.
+  int warm_start_blobs = 256;
 };
 
 class EvalScheduler {
@@ -63,25 +89,69 @@ class EvalScheduler {
   /// Queues `count` fresh samples of `tally`'s stream for the next flush().
   /// The batch is drawn immediately (the stream position is consumed at
   /// enqueue time), so results do not depend on flush scheduling.  The
-  /// tally must stay alive until the flush.  No-op when count <= 0.
-  void enqueue(CandidateYield& tally, long long count,
-               const McOptions& options);
+  /// tally must stay alive until the flush (see retain()).  `phase` is the
+  /// budget phase the batch is counted under; kOther defers to the phase
+  /// passed to flush().  No-op when count <= 0.
+  void enqueue(CandidateYield& tally, long long count, const McOptions& options,
+               SimPhase phase = SimPhase::kOther);
 
-  /// Evaluates every queued batch as one pool-wide chunked job set, updates
-  /// the tallies, and counts the samples under `phase`.  If an evaluation
-  /// throws, the exception propagates and every queued batch is dropped
-  /// untallied (the scheduler stays usable for new work).
+  /// Queues an externally drawn sample batch for `tally` (the reference-MC
+  /// path draws its own seed-defined streams rather than the candidate's);
+  /// rows are evaluated at flush() like any other batch.
+  void enqueue_samples(CandidateYield& tally, linalg::MatrixD samples,
+                       SimPhase phase = SimPhase::kOther);
+
+  /// Queues the nominal acceptance-sampling screen of `tally` for the next
+  /// flush() (no-op when already screened).  Screens ride in the same job
+  /// set as sample batches, which is what lets the optimizer overlap the
+  /// previous generation's deferred stage-2 flush with the next
+  /// generation's screens.
+  void enqueue_screen(CandidateYield& tally);
+
+  /// Keeps `tally` alive until the end of the next flush() (or
+  /// discard_pending()).  Callers that defer a flush across an ownership
+  /// boundary -- e.g. the optimizer's pipelined loop, where a losing
+  /// candidate can be dropped while its stage-2 batch is still pending --
+  /// must retain the candidates they enqueued.
+  void retain(std::shared_ptr<CandidateYield> tally);
+
+  /// Evaluates every queued job as one pool-wide chunked job set, updates
+  /// the tallies, and counts batch samples under their enqueue phase (jobs
+  /// enqueued with kOther fall back to `phase`); screens always count under
+  /// kScreen.  Scheduler events (cache hits, cold/warm opens, affinity
+  /// hits, steals, migrations) incurred by the flush are added to `sims` as
+  /// well.  If an evaluation throws, the exception propagates and every
+  /// queued job is dropped untallied (the scheduler stays usable).
   void flush(SimCounter& sims, SimPhase phase = SimPhase::kOther);
 
-  /// Batched nominal screens: evaluates the nominal point of every
-  /// not-yet-screened candidate as one task set (cached sessions are
-  /// reused and later refinement reuses the sessions opened here).
+  /// Drops every queued job untallied (their stream positions stay
+  /// consumed) and releases retained candidates.  Used when abandoning a
+  /// deferred job set, e.g. when an optimizer run is restarted.
+  void discard_pending();
+
+  /// True when jobs are queued for the next flush().
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Batched nominal screens: enqueue_screen() + flush() for a candidate
+  /// set.  Note this also drains any other pending jobs in the same job
+  /// set (the generation-overlap fast path).
   void screen(std::span<CandidateYield* const> candidates, SimCounter& sims);
 
   /// enqueue() + flush() for a single candidate: the per-candidate legacy
   /// shape, kept for callers outside generation-wide rounds.
   void refine(CandidateYield& tally, long long count, SimCounter& sims,
               const McOptions& options, SimPhase phase = SimPhase::kOther);
+
+  /// Low-level batched mapping through the session caches: calls
+  /// fn(session, row) for every row in [0, rows), chunk-scheduled on the
+  /// pool with `tally`'s cached sessions (counters update as usual).  For
+  /// callers that need richer per-sample output than SampleResult -- the
+  /// PSWCD pilot sweep reads full circuit Performance -- while still
+  /// getting session caching and chunked claiming.  fn runs on worker
+  /// threads and must write results to per-row slots.
+  void for_each(CandidateYield& tally, std::size_t rows,
+                const std::function<void(YieldProblem::Session&, std::size_t)>&
+                    fn);
 
   // --- instrumentation (relaxed atomics; exact between flushes) ---
   /// Sessions currently held across all worker caches.
@@ -92,17 +162,42 @@ class EvalScheduler {
   std::size_t peak_sessions() const {
     return peak_sessions_.load(std::memory_order_relaxed);
   }
-  /// Cache misses (sessions constructed) and hits since construction.
+  /// Cache misses (sessions constructed, cold + warm) and hits since
+  /// construction.
   long long session_opens() const {
-    return session_opens_.load(std::memory_order_relaxed);
+    return cold_opens_.load(std::memory_order_relaxed) +
+           warm_opens_.load(std::memory_order_relaxed);
   }
   long long session_hits() const {
     return session_hits_.load(std::memory_order_relaxed);
+  }
+  /// Sessions revived from a warm-start blob (a subset of session_opens()).
+  long long warm_opens() const {
+    return warm_opens_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed on their candidate's preferred worker / elsewhere.
+  long long affinity_hits() const {
+    return affinity_hits_.load(std::memory_order_relaxed);
+  }
+  long long steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Candidates whose preferred worker was reassigned after their whole
+  /// job ran elsewhere.
+  long long migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
   }
 
  private:
   struct CacheEntry {
     std::uint64_t key = 0;
+    std::uint64_t x_hash = 0;
+    /// Problem and design the session was opened for: a cache miss on the
+    /// candidate id falls back to adopting a session of the same (problem,
+    /// x) under a new identity -- re-estimates (reference_yield, PSWCD
+    /// analyze) create a fresh CandidateYield per call for the same design.
+    const YieldProblem* problem = nullptr;
+    std::vector<double> x;
     std::unique_ptr<YieldProblem::Session> session;
     std::uint64_t tick = 0;
   };
@@ -116,18 +211,52 @@ class EvalScheduler {
     CandidateYield* tally = nullptr;
     linalg::MatrixD samples;
     long long count = 0;
+    bool screen = false;
+    SimPhase phase = SimPhase::kOther;
+    int preferred = 0;  ///< filled in by flush()
+  };
+  struct BlobEntry {
+    /// Problem the blob's session belonged to: like the session-adoption
+    /// path, a lookup must never hand one problem's blob to another (two
+    /// problems can share a topology but differ in evaluation options the
+    /// blob's pattern key cannot tell apart).
+    const YieldProblem* problem = nullptr;
+    std::vector<double> blob;
+    std::uint64_t tick = 0;
   };
 
   YieldProblem::Session* session_for(int worker, CandidateYield& tally);
+  /// Saves an evicted session's warm-start blob into the LRU blob store.
+  void park_blob(std::uint64_t x_hash, const YieldProblem* problem,
+                 const YieldProblem::Session& session);
+  /// Preferred worker for `tally`, assigning new candidates to the least
+  /// loaded queue (`load` is per-worker queued samples for this flush).
+  int preferred_worker(const CandidateYield& tally,
+                       std::vector<long long>& load, long long weight);
 
   ThreadPool* pool_;
   SchedulerOptions options_;
   std::vector<WorkerCache> caches_;
   std::vector<PendingJob> pending_;
+  std::vector<std::shared_ptr<CandidateYield>> retained_;
+  std::unordered_map<std::uint64_t, int> preferred_;
+
+  std::mutex blob_mutex_;
+  std::unordered_map<std::uint64_t, BlobEntry> blobs_;
+  std::uint64_t blob_tick_ = 0;
+
   std::atomic<std::size_t> live_sessions_{0};
   std::atomic<std::size_t> peak_sessions_{0};
-  std::atomic<long long> session_opens_{0};
+  std::atomic<long long> cold_opens_{0};
+  std::atomic<long long> warm_opens_{0};
   std::atomic<long long> session_hits_{0};
+  std::atomic<long long> affinity_hits_{0};
+  std::atomic<long long> steals_{0};
+  std::atomic<long long> migrations_{0};
 };
+
+/// FNV-1a hash of a design vector's bytes; the blob-store key.  Collisions
+/// are tolerable: open_warm() implementations validate the stored x.
+std::uint64_t design_hash(std::span<const double> x);
 
 }  // namespace moheco::mc

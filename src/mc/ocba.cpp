@@ -73,7 +73,7 @@ std::vector<long long> ocba_allocation(std::span<const double> means,
 std::vector<std::size_t> two_stage_estimate(
     std::span<CandidateYield* const> candidates,
     const TwoStageOptions& options, EvalScheduler& scheduler,
-    SimCounter& sims) {
+    SimCounter& sims, bool flush_stage2) {
   const std::size_t s = candidates.size();
   std::vector<std::size_t> promoted;
   if (s == 0) return promoted;
@@ -96,7 +96,8 @@ std::vector<std::size_t> two_stage_estimate(
   // Stage 1a: n0 pilot samples per new candidate, one batched job set.
   for (CandidateYield* c : candidates) {
     if (c->samples() < options.n0) {
-      scheduler.enqueue(*c, options.n0 - c->samples(), options.mc);
+      scheduler.enqueue(*c, options.n0 - c->samples(), options.mc,
+                        SimPhase::kStage1);
     }
   }
   scheduler.flush(sims, SimPhase::kStage1);
@@ -139,7 +140,7 @@ std::vector<std::size_t> two_stage_estimate(
                            candidates[i]->samples());
       extra = std::min(extra, allowance);
       if (extra > 0) {
-        scheduler.enqueue(*candidates[i], extra, options.mc);
+        scheduler.enqueue(*candidates[i], extra, options.mc, SimPhase::kOcba);
         added += extra;
         allowance -= extra;
       }
@@ -158,13 +159,14 @@ std::vector<std::size_t> two_stage_estimate(
     if (candidates[i]->mean() > options.stage2_threshold &&
         candidates[i]->samples() < options.n_max) {
       scheduler.enqueue(*candidates[i],
-                        options.n_max - candidates[i]->samples(), options.mc);
+                        options.n_max - candidates[i]->samples(), options.mc,
+                        SimPhase::kStage2);
       promoted.push_back(i);
     } else if (candidates[i]->samples() >= options.n_max) {
       promoted.push_back(i);
     }
   }
-  scheduler.flush(sims, SimPhase::kStage2);
+  if (flush_stage2) scheduler.flush(sims, SimPhase::kStage2);
   return promoted;
 }
 

@@ -47,9 +47,16 @@ struct TwoStageOptions {
 /// candidates' sample ranges to `scheduler` as one batched job set, so the
 /// pool never barriers on a single candidate's increment.  Returns the
 /// indices of the candidates promoted to stage 2.
+///
+/// With flush_stage2 = false the stage-2 batches are enqueued (streams
+/// consumed, promotion decided) but left pending on the scheduler, so the
+/// caller can overlap their evaluation with independent work -- the
+/// optimizer merges them with the next generation's nominal screens.  The
+/// caller then owns keeping the promoted candidates alive until the next
+/// flush (EvalScheduler::retain) and flushing before reading their tallies.
 std::vector<std::size_t> two_stage_estimate(
     std::span<CandidateYield* const> candidates, const TwoStageOptions& options,
-    EvalScheduler& scheduler, SimCounter& sims);
+    EvalScheduler& scheduler, SimCounter& sims, bool flush_stage2 = true);
 
 /// Convenience overload: runs on a scheduler created for this call (session
 /// caches do not persist afterwards).  Long-lived flows -- the optimizer's

@@ -22,6 +22,54 @@ enum class SimPhase : int {
 
 inline constexpr std::size_t kNumSimPhases = 5;
 
+/// Warm-path scheduler events, accumulated alongside the sample counts so
+/// the ablation benches can report how the evaluation pipeline behaved
+/// (EvalScheduler records one entry per cache lookup / task placement).
+enum class SchedEvent : int {
+  kSessionHit = 0,   ///< session-cache hits (no construction)
+  kSessionOpenCold,  ///< sessions constructed from scratch (full nominal)
+  kSessionOpenWarm,  ///< sessions revived from a warm-start blob
+  kAffinityHit,      ///< tasks executed on their candidate's preferred worker
+  kSteal,            ///< tasks executed on another worker (load balancing)
+  kMigration,        ///< candidates whose preferred worker was reassigned
+};
+
+inline constexpr std::size_t kNumSchedEvents = 6;
+
+inline const char* to_string(SchedEvent event) {
+  switch (event) {
+    case SchedEvent::kSessionHit: return "session_hits";
+    case SchedEvent::kSessionOpenCold: return "cold_opens";
+    case SchedEvent::kSessionOpenWarm: return "warm_opens";
+    case SchedEvent::kAffinityHit: return "affinity_hits";
+    case SchedEvent::kSteal: return "steals";
+    case SchedEvent::kMigration: return "migrations";
+  }
+  return "?";
+}
+
+/// A plain (non-atomic) snapshot of the scheduler-event totals.
+struct SchedBreakdown {
+  long long session_hits = 0;
+  long long cold_opens = 0;
+  long long warm_opens = 0;
+  long long affinity_hits = 0;
+  long long steals = 0;
+  long long migrations = 0;
+
+  long long session_opens() const { return cold_opens + warm_opens; }
+
+  SchedBreakdown& operator+=(const SchedBreakdown& rhs) {
+    session_hits += rhs.session_hits;
+    cold_opens += rhs.cold_opens;
+    warm_opens += rhs.warm_opens;
+    affinity_hits += rhs.affinity_hits;
+    steals += rhs.steals;
+    migrations += rhs.migrations;
+    return *this;
+  }
+};
+
 inline const char* to_string(SimPhase phase) {
   switch (phase) {
     case SimPhase::kScreen: return "screen";
@@ -71,6 +119,27 @@ class SimCounter {
         std::memory_order_relaxed);
   }
 
+  void add_event(SchedEvent event, long long n = 1) {
+    events_[static_cast<std::size_t>(event)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  long long event_total(SchedEvent event) const {
+    return events_[static_cast<std::size_t>(event)].load(
+        std::memory_order_relaxed);
+  }
+
+  SchedBreakdown sched_breakdown() const {
+    SchedBreakdown b;
+    b.session_hits = event_total(SchedEvent::kSessionHit);
+    b.cold_opens = event_total(SchedEvent::kSessionOpenCold);
+    b.warm_opens = event_total(SchedEvent::kSessionOpenWarm);
+    b.affinity_hits = event_total(SchedEvent::kAffinityHit);
+    b.steals = event_total(SchedEvent::kSteal);
+    b.migrations = event_total(SchedEvent::kMigration);
+    return b;
+  }
+
   SimBreakdown breakdown() const {
     SimBreakdown b;
     b.screen = phase_total(SimPhase::kScreen);
@@ -83,10 +152,12 @@ class SimCounter {
 
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    for (auto& e : events_) e.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<long long> counts_[kNumSimPhases] = {};
+  std::atomic<long long> events_[kNumSchedEvents] = {};
 };
 
 }  // namespace moheco::mc

@@ -22,6 +22,20 @@
 //     without changing the yield tally.
 //   - Sessions may be destroyed at any time between evaluations (LRU
 //     eviction); construction must be self-contained and repeatable.
+//
+// Warm-start handoff (optional extension of the contract):
+//   - Session::warm_start_blob() may return a serializable snapshot of the
+//     session's expensive construction-time state (for circuit problems:
+//     the nominal DC operating point, the linear-system pattern key, and
+//     the nominal GBW crossing seed).  Empty means "no warm-start support".
+//   - open_warm(x, blob) opens a session seeded from a blob previously
+//     returned by a session of the SAME design point.  Implementations must
+//     validate the blob (the scheduler keys its blob store by a hash of x,
+//     so a collision can hand over another candidate's blob) and silently
+//     fall back to a cold open() when it does not match.  A warm-opened
+//     session must be observationally identical to a cold one: the blob may
+//     only skip recomputation of state the cold path would have derived
+//     deterministically, so sample results stay pure functions of (x, xi).
 #pragma once
 
 #include <memory>
@@ -53,10 +67,24 @@ class YieldProblem {
     /// Evaluates one noise sample; an empty span means the nominal point.
     /// Each call counts as one "simulation" in the budget accounting.
     virtual SampleResult evaluate(std::span<const double> xi) = 0;
+    /// Serializable warm-start snapshot of the session's construction-time
+    /// state, consumed by open_warm() to revive an evicted session without
+    /// redoing the expensive nominal work.  The default (empty) disables
+    /// warm starts for this problem.
+    virtual std::vector<double> warm_start_blob() const { return {}; }
   };
 
   /// Opens an evaluation session at design x (x is copied).
   virtual std::unique_ptr<Session> open(std::span<const double> x) const = 0;
+
+  /// Opens a session at x seeded from `blob` (a previous session's
+  /// warm_start_blob() for the same x).  Implementations must validate the
+  /// blob and fall back to a cold open on mismatch; the default ignores it.
+  virtual std::unique_ptr<Session> open_warm(
+      std::span<const double> x, std::span<const double> blob) const {
+    (void)blob;
+    return open(x);
+  }
 
   /// Convenience one-shot evaluation.
   SampleResult evaluate(std::span<const double> x,

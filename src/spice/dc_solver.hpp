@@ -6,6 +6,7 @@
 // status, not an exception; the yield estimator counts such samples as fails.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/spice/mna.hpp"
@@ -83,6 +84,14 @@ class DcSolver {
   const MnaLayout& layout() const { return layout_; }
   /// Resolved linear-solve backend (never kAuto).
   SolverBackend backend() const { return sys_.backend(); }
+
+  /// Structural fingerprint of the assembled system (unknown layout, device
+  /// counts, resolved backend).  A serialized warm-start solution is only
+  /// valid for a solver with the same key: the evaluator embeds it in its
+  /// warm-start blob and rejects blobs whose key does not match, so a blob
+  /// captured under a different netlist structure or backend can never seed
+  /// a Newton iteration with a mis-shaped vector.
+  std::uint64_t pattern_key() const;
 
   /// Newton iterations used by the last solve (across all continuation
   /// stages); exposed for diagnostics and the micro benches.

@@ -24,22 +24,43 @@ double spec_violation(const Spec& spec, double value) {
 
 }  // namespace
 
+namespace {
+
+/// The scheduler hands out the problem's generic sessions; PSWCD needs the
+/// full metric readout, so downcast to the circuit session type (the only
+/// type CircuitYieldProblem::open ever returns).
+circuits::CircuitYieldProblem::CircuitSession& as_circuit_session(
+    mc::YieldProblem::Session& session) {
+  return static_cast<circuits::CircuitYieldProblem::CircuitSession&>(session);
+}
+
+}  // namespace
+
 PswcdOptimizer::PswcdOptimizer(const circuits::CircuitYieldProblem& problem,
                                PswcdOptions options)
-    : problem_(&problem), options_(options), pool_(options.threads) {
+    : problem_(&problem),
+      options_(options),
+      pool_(options.threads),
+      scheduler_(pool_) {
   require(options.pilot_samples >= 4, "PswcdOptimizer: need >= 4 pilots");
 }
 
 WorstCaseReport PswcdOptimizer::analyze(std::span<const double> x) {
   WorstCaseReport report;
-  const auto& evaluator = problem_->evaluator();
   // The problem's enforced spec set, not topology().specs(): with transient
   // evaluation enabled it also contains the slew/settling specs.
   const auto& specs = problem_->specs();
   const std::size_t dim = problem_->noise_dim();
-  auto session = evaluator.session(x);
+  // Identity for the scheduler's session caches; the candidate's sample
+  // stream is unused (PSWCD draws its own LHS pilots).
+  mc::CandidateYield tally(*problem_, std::vector<double>(x.begin(), x.end()),
+                           options_.seed);
 
-  const Performance nominal = session->evaluate({});
+  Performance nominal;
+  scheduler_.for_each(tally, 1,
+                      [&](mc::YieldProblem::Session& s, std::size_t) {
+                        nominal = as_circuit_session(s).evaluate_performance({});
+                      });
   sims_.add(1);
   report.nominal_power = nominal.power;
   report.nominal_feasible = circuits::passes(nominal, specs);
@@ -49,29 +70,30 @@ WorstCaseReport PswcdOptimizer::analyze(std::span<const double> x) {
     return report;
   }
 
-  // Pilot sample around the nominal point for the linear sensitivity model.
+  // Pilot sample around the nominal point for the linear sensitivity model,
+  // chunk-scheduled through the scheduler's cached sessions.
   const auto pilots = static_cast<std::size_t>(options_.pilot_samples);
   const linalg::MatrixD xi = stats::sample_standard_normal(
       stats::SamplingMethod::kLHS, pilots, dim,
       stats::derive_seed(options_.seed, 0x44C, pilots));
   linalg::MatrixD metric_values(pilots, specs.size());
-  std::vector<std::unique_ptr<circuits::AmplifierEvaluator::Session>> sessions(
-      static_cast<std::size_t>(pool_.num_workers()));
-  pool_.parallel_for(pilots, [&](int worker, std::size_t i) {
-    auto& slot = sessions[static_cast<std::size_t>(worker)];
-    if (!slot) slot = evaluator.session(x);
-    const Performance perf = slot->evaluate({xi.row(i), dim});
-    for (std::size_t k = 0; k < specs.size(); ++k) {
-      metric_values(i, k) =
-          perf.valid ? circuits::metric_value(perf, specs[k].metric)
-                     : circuits::metric_value(Performance{}, specs[k].metric);
-    }
-  });
+  scheduler_.for_each(
+      tally, pilots, [&](mc::YieldProblem::Session& s, std::size_t i) {
+        const Performance perf =
+            as_circuit_session(s).evaluate_performance({xi.row(i), dim});
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+          metric_values(i, k) =
+              perf.valid
+                  ? circuits::metric_value(perf, specs[k].metric)
+                  : circuits::metric_value(Performance{}, specs[k].metric);
+        }
+      });
   sims_.add(static_cast<long long>(pilots));
 
   // Per-spec worst case: linear model metric ~ g . xi, pushed k_sigma along
-  // the adverse direction, then verified with one simulation.
-  report.feasible = true;
+  // the adverse direction.  All specs' worst-case points are derived first,
+  // then verified as one batched job set through the cached sessions.
+  linalg::MatrixD worst_points(specs.size(), dim);
   for (std::size_t k = 0; k < specs.size(); ++k) {
     std::vector<double> rhs(pilots);
     double mean = 0.0;
@@ -84,20 +106,29 @@ WorstCaseReport PswcdOptimizer::analyze(std::span<const double> x) {
     double norm = 0.0;
     for (double v : g) norm += v * v;
     norm = std::sqrt(norm);
-    std::vector<double> worst_xi(dim, 0.0);
+    for (std::size_t j = 0; j < dim; ++j) worst_points(k, j) = 0.0;
     if (norm > 0.0) {
       // Lower-bound specs degrade along -g; upper-bound ones along +g.
       const double sign = specs[k].lower_bound ? -1.0 : 1.0;
       for (std::size_t j = 0; j < dim; ++j) {
-        worst_xi[j] = sign * options_.k_sigma * g[j] / norm;
+        worst_points(k, j) = sign * options_.k_sigma * g[j] / norm;
       }
     }
-    const Performance wc = session->evaluate(worst_xi);
-    sims_.add(1);
-    const double value =
-        wc.valid ? circuits::metric_value(wc, specs[k].metric)
-                 : circuits::metric_value(Performance{}, specs[k].metric);
-    const double violation = spec_violation(specs[k], value);
+  }
+  std::vector<double> worst_values(specs.size());
+  scheduler_.for_each(
+      tally, specs.size(), [&](mc::YieldProblem::Session& s, std::size_t k) {
+        const Performance wc =
+            as_circuit_session(s).evaluate_performance({worst_points.row(k),
+                                                        dim});
+        worst_values[k] =
+            wc.valid ? circuits::metric_value(wc, specs[k].metric)
+                     : circuits::metric_value(Performance{}, specs[k].metric);
+      });
+  sims_.add(static_cast<long long>(specs.size()));
+  report.feasible = true;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const double violation = spec_violation(specs[k], worst_values[k]);
     if (violation > 0.0) report.feasible = false;
     report.worst_violation += violation;
   }

@@ -18,6 +18,7 @@
 
 #include "src/circuits/circuit_yield.hpp"
 #include "src/common/parallel.hpp"
+#include "src/mc/eval_scheduler.hpp"
 #include "src/mc/sim_counter.hpp"
 
 namespace moheco::wcd {
@@ -62,6 +63,11 @@ class PswcdOptimizer {
   const circuits::CircuitYieldProblem* problem_;
   PswcdOptions options_;
   ThreadPool pool_;
+  /// All evaluations (nominal, pilot sweep, worst-case verification) run
+  /// through the scheduler's cached sessions: chunked claiming spreads the
+  /// pilot sample across the pool, and a re-analysis of a design point
+  /// whose session was evicted revives it from the warm-start blob store.
+  mc::EvalScheduler scheduler_;
   mc::SimCounter sims_;
 };
 
