@@ -1,0 +1,143 @@
+// Micro benchmark for the deck frontend: parse and instantiate throughput
+// of spice::DeckParser over exported decks from small amplifier netlists up
+// to multi-thousand-device RC grids.
+//
+// Doubles as a correctness gate: every scenario's deck must round-trip to a
+// byte-identical re-export (write -> parse -> instantiate -> write), so a
+// formatting or parsing regression fails CI instead of shifting perf rows.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/common/table.hpp"
+#include "src/spice/deck_parser.hpp"
+#include "src/spice/netlist_format.hpp"
+#include "src/spice/netlist_gen.hpp"
+
+namespace {
+
+using namespace moheco;
+
+struct Scenario {
+  std::string name;
+  spice::Netlist netlist;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<double> mid_bounds(const circuits::Topology& topology) {
+  std::vector<double> x;
+  for (const auto& var : topology.design_vars()) {
+    x.push_back(0.5 * (var.lo + var.hi));
+  }
+  return x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv, "Micro: SPICE deck parse/instantiate throughput");
+  const double min_seconds =
+      options.scale == BenchScale::kSmoke ? 0.02 : 0.2;
+
+  std::vector<Scenario> scenarios;
+  for (const auto& make :
+       {circuits::make_five_transistor_ota, circuits::make_folded_cascode,
+        circuits::make_two_stage_telescopic}) {
+    const auto topology = make();
+    scenarios.push_back(
+        {topology->name(), topology->build(mid_bounds(*topology)).netlist});
+  }
+  {
+    spice::GridSpec spec;
+    const int side = options.scale == BenchScale::kSmoke ? 16 : 45;
+    spec.rows = side;
+    spec.cols = side;
+    scenarios.push_back({"grid-" + std::to_string(side) + "x" +
+                             std::to_string(side),
+                         make_rc_grid(spec)});
+  }
+
+  Table table({"scenario", "bytes", "devices", "parse us", "MB/s",
+               "instantiate us"});
+  bool ok = true;
+  std::string json_rows;
+  for (const Scenario& s : scenarios) {
+    const std::string text = spice::to_spice_deck(s.netlist, s.name);
+
+    // Round-trip gate: re-exporting the parsed deck must reproduce the
+    // source bytes (title line included).
+    const spice::Deck parsed = spice::parse_deck_string(text, s.name);
+    if (spice::to_spice_deck(parsed.instantiate(), s.name) != text) {
+      std::fprintf(stderr, "FAIL %s: deck round-trip is not byte-identical\n",
+                   s.name.c_str());
+      ok = false;
+    }
+
+    int parses = 0;
+    auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      const spice::Deck deck = spice::parse_deck_string(text, s.name);
+      if (deck.devices.empty()) std::exit(1);  // keep the work observable
+      ++parses;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_seconds && parses < 200000);
+    const double parse_us = elapsed * 1e6 / parses;
+    const double mb_per_s = text.size() / (parse_us * 1e-6) / 1e6;
+
+    int instantiates = 0;
+    start = std::chrono::steady_clock::now();
+    elapsed = 0.0;
+    do {
+      const spice::Netlist n = parsed.instantiate();
+      if (n.num_nodes() == 0) std::exit(1);
+      ++instantiates;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_seconds && instantiates < 200000);
+    const double instantiate_us = elapsed * 1e6 / instantiates;
+
+    const std::size_t devices =
+        s.netlist.resistors().size() + s.netlist.capacitors().size() +
+        s.netlist.inductors().size() + s.netlist.vsources().size() +
+        s.netlist.isources().size() + s.netlist.vcvs().size() +
+        s.netlist.vccs().size() + s.netlist.mosfets().size();
+
+    char parse_text[32], mb_text[32], inst_text[32];
+    std::snprintf(parse_text, sizeof(parse_text), "%.1f", parse_us);
+    std::snprintf(mb_text, sizeof(mb_text), "%.1f", mb_per_s);
+    std::snprintf(inst_text, sizeof(inst_text), "%.1f", instantiate_us);
+    table.add_row({s.name, std::to_string(text.size()),
+                   std::to_string(devices), parse_text, mb_text, inst_text});
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"name\":\"%s\",\"bytes\":%zu,\"devices\":%zu,"
+                  "\"parse_us\":%.2f,\"parse_mb_per_s\":%.2f,"
+                  "\"instantiate_us\":%.2f}",
+                  json_rows.empty() ? "" : ",", s.name.c_str(), text.size(),
+                  devices, parse_us, mb_per_s, instantiate_us);
+    json_rows += row;
+  }
+  table.print(std::cout, "deck parse/instantiate throughput");
+
+  if (!options.json.empty()) {
+    std::ofstream out(options.json);
+    out << "{\"bench_micro_deck\":{\"scenarios\":[" << json_rows << "]}}\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", options.json.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

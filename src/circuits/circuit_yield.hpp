@@ -11,7 +11,10 @@
 
 namespace moheco::circuits {
 
-class CircuitYieldProblem final : public mc::YieldProblem {
+// Subclassed by NetlistYieldProblem (src/circuits/netlist_problem.hpp),
+// which supplies a deck-built topology but shares this evaluation pipeline
+// verbatim -- sessions, warm-start blobs, and scheduler behavior included.
+class CircuitYieldProblem : public mc::YieldProblem {
  public:
   /// With options.transient set, samples also run the step-buffer transient
   /// and the topology's transient_specs() join the pass criterion.

@@ -1,0 +1,308 @@
+#include "src/circuits/netlist_problem.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace moheco::circuits {
+namespace {
+
+InterEffect effect_from_keyword(const std::string& keyword, bool* known) {
+  *known = true;
+  if (keyword == "vth0") return InterEffect::kVth0;
+  if (keyword == "tox_rel") return InterEffect::kToxRel;
+  if (keyword == "u0_rel") return InterEffect::kU0Rel;
+  if (keyword == "ld") return InterEffect::kLd;
+  if (keyword == "wd") return InterEffect::kWd;
+  if (keyword == "gamma_rel") return InterEffect::kGammaRel;
+  if (keyword == "phi_rel") return InterEffect::kPhiRel;
+  if (keyword == "lambda_rel") return InterEffect::kLambdaRel;
+  if (keyword == "cj_rel") return InterEffect::kCjRel;
+  if (keyword == "cjsw_rel") return InterEffect::kCjswRel;
+  if (keyword == "cgdo_rel") return InterEffect::kCgdoRel;
+  if (keyword == "cgso_rel") return InterEffect::kCgsoRel;
+  if (keyword == "ldiff_rel") return InterEffect::kLdiffRel;
+  if (keyword == "nsub_rel") return InterEffect::kNsubRel;
+  if (keyword == "delta_l") return InterEffect::kDeltaL;
+  if (keyword == "delta_w") return InterEffect::kDeltaW;
+  *known = false;
+  return InterEffect::kVth0;
+}
+
+DeviceClass device_class(const std::string& keyword) {
+  if (keyword == "nmos") return DeviceClass::kNmos;
+  if (keyword == "pmos") return DeviceClass::kPmos;
+  return DeviceClass::kBoth;
+}
+
+/// True when `expr` depends (transitively, through derived .params) on a
+/// design variable.  Specs and process statistics are fixed per problem, so
+/// such expressions would be silently frozen at the nominal sizing; callers
+/// reject them with a diagnostic instead.
+bool depends_on_design(const spice::DeckExpr& expr, const spice::Deck& deck) {
+  for (const spice::DeckExpr::Op& op : expr.ops) {
+    if (op.kind != spice::DeckExpr::OpKind::kParam) continue;
+    const spice::DeckParam& p =
+        deck.params[static_cast<std::size_t>(op.param)];
+    if (p.is_design || depends_on_design(p.value, deck)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Metric metric_from_keyword(const std::string& keyword) {
+  if (keyword == "a0_db" || keyword == "a0" || keyword == "gain" ||
+      keyword == "gain_db") {
+    return Metric::kA0Db;
+  }
+  if (keyword == "gbw") return Metric::kGbw;
+  if (keyword == "pm_deg" || keyword == "pm" || keyword == "phase_margin") {
+    return Metric::kPmDeg;
+  }
+  if (keyword == "swing" || keyword == "os") return Metric::kSwing;
+  if (keyword == "power") return Metric::kPower;
+  if (keyword == "offset") return Metric::kOffset;
+  if (keyword == "area") return Metric::kArea;
+  if (keyword == "sat_margin" || keyword == "saturation") {
+    return Metric::kSatMargin;
+  }
+  if (keyword == "slew_rate" || keyword == "sr") return Metric::kSlewRate;
+  if (keyword == "settling_time" || keyword == "tsettle") {
+    return Metric::kSettlingTime;
+  }
+  throw InvalidArgument("unknown .spec metric '" + keyword + "'");
+}
+
+void DeckTopology::card_error(int line, const std::string& message) const {
+  throw spice::DeckError(deck_.source, line, 1, message);
+}
+
+DeckTopology::DeckTopology(spice::Deck deck) : deck_(std::move(deck)) {
+  const std::vector<double> nominal_params = deck_.param_values({});
+
+  // Design space from the .param cards with bounds.
+  for (std::size_t i : deck_.design_params()) {
+    const spice::DeckParam& p = deck_.params[i];
+    vars_.push_back({p.name, p.lo, p.hi});
+  }
+  if (vars_.empty()) {
+    card_error(1, "deck declares no design variables "
+                  "(.param NAME=<v> LO=a HI=b)");
+  }
+
+  // Specs: small-signal metrics join specs(), step-response metrics join
+  // transient_specs() -- exactly how the built-in topologies split them.
+  for (const spice::DeckSpec& s : deck_.specs) {
+    Metric metric = Metric::kA0Db;
+    try {
+      metric = metric_from_keyword(s.metric);
+    } catch (const InvalidArgument& e) {
+      card_error(s.line, e.what());
+    }
+    if (depends_on_design(s.bound, deck_) ||
+        (!s.scale.empty() && depends_on_design(s.scale, deck_))) {
+      card_error(s.line, ".spec bounds are fixed per problem and cannot "
+                         "reference design parameters");
+    }
+    const double bound = s.bound.eval(nominal_params);
+    double scale = s.scale.empty() ? std::max(std::fabs(bound), 1.0)
+                                   : s.scale.eval(nominal_params);
+    if (!(scale > 0.0)) card_error(s.line, ".spec SCALE must be positive");
+    const Spec spec = s.lower ? lower_spec(metric, bound, scale, s.label)
+                              : upper_spec(metric, bound, scale, s.label);
+    if (metric == Metric::kSlewRate || metric == Metric::kSettlingTime) {
+      tran_specs_.push_back(spec);
+    } else {
+      specs_.push_back(spec);
+    }
+  }
+
+  // Statistical model: base technology (".variation tech") plus custom
+  // inter-die variables and mismatch-law overrides.
+  const spice::DeckVariation& var = deck_.variation;
+  if (!var.tech.empty()) {
+    if (var.tech == "tech035") {
+      tech_ = tech035();
+    } else if (var.tech == "tech90") {
+      tech_ = tech90();
+    } else {
+      card_error(var.line, "unknown technology '" + var.tech +
+                               "' (built in: tech035, tech90)");
+    }
+  } else {
+    tech_.name = "deck";
+    tech_.mismatch_nmos = {};
+    tech_.mismatch_pmos = {};
+    tech_.inter_die.clear();
+  }
+  for (const spice::DeckGlobalVariation& g : var.globals) {
+    bool known = false;
+    const InterEffect effect = effect_from_keyword(g.effect, &known);
+    if (!known) {
+      card_error(g.line, "unknown variation effect '" + g.effect + "'");
+    }
+    if (depends_on_design(g.sigma, deck_)) {
+      card_error(g.line, ".variation statistics are fixed per problem and "
+                         "cannot reference design parameters");
+    }
+    const double sigma = g.sigma.eval(nominal_params);
+    if (!(sigma >= 0.0)) card_error(g.line, "variation sigma must be >= 0");
+    tech_.inter_die.push_back({g.name, effect, device_class(g.devices), sigma});
+  }
+  for (const spice::DeckMismatch& m : var.mismatch) {
+    for (const spice::DeckExpr* e : {&m.a_vth, &m.a_tox, &m.a_ld, &m.a_wd}) {
+      if (!e->empty() && depends_on_design(*e, deck_)) {
+        card_error(m.line, ".variation statistics are fixed per problem and "
+                           "cannot reference design parameters");
+      }
+    }
+    auto apply = [&](MismatchLaw& law) {
+      if (!m.a_vth.empty()) law.a_vth = m.a_vth.eval(nominal_params);
+      if (!m.a_tox.empty()) law.a_tox_rel = m.a_tox.eval(nominal_params);
+      if (!m.a_ld.empty()) law.a_ld = m.a_ld.eval(nominal_params);
+      if (!m.a_wd.empty()) law.a_wd = m.a_wd.eval(nominal_params);
+    };
+    if (m.devices != "pmos") apply(tech_.mismatch_nmos);
+    if (m.devices != "nmos") apply(tech_.mismatch_pmos);
+  }
+
+  // Resolve the .probe hooks against one nominal instantiation: the deck
+  // fixes construction order, so device indices and node ids are identical
+  // in every later build().
+  spice::Netlist nominal = deck_.instantiate();
+  num_transistors_ = static_cast<int>(nominal.mosfets().size());
+  if (num_transistors_ == 0) {
+    card_error(1, "deck has no MOSFETs; yield problems need at least one");
+  }
+
+  const spice::DeckProbes& probes = deck_.probes;
+  auto resolve_node = [&](const std::string& name) -> spice::NodeId {
+    if (name.empty()) return 0;
+    const int before = nominal.num_nodes();
+    const spice::NodeId id = nominal.node(name);
+    if (id > before) {
+      card_error(probes.line,
+                 ".probe references unknown node '" + name + "'");
+    }
+    return id;
+  };
+  auto resolve_vsource = [&](const std::string& name) -> int {
+    for (std::size_t i = 0; i < nominal.vsources().size(); ++i) {
+      if (nominal.vsources()[i].name == name) return static_cast<int>(i);
+    }
+    card_error(probes.line,
+               ".probe references unknown voltage source '" + name + "'");
+  };
+  auto resolve_mosfet = [&](const std::string& name) -> int {
+    for (std::size_t i = 0; i < nominal.mosfets().size(); ++i) {
+      if (nominal.mosfets()[i].name == name) return static_cast<int>(i);
+    }
+    card_error(probes.line,
+               ".probe swing references unknown MOSFET '" + name + "'");
+  };
+
+  if (probes.outp.empty()) {
+    card_error(probes.line ? probes.line : 1,
+               "deck needs a '.probe out <node> [<node>]' card");
+  }
+  if (probes.supply.empty()) {
+    card_error(probes.line ? probes.line : 1,
+               "deck needs a '.probe supply <vsource>' card");
+  }
+  outp_ = resolve_node(probes.outp);
+  outn_ = resolve_node(probes.outn);
+  vdd_source_ = resolve_vsource(probes.supply);
+  for (const std::string& name : probes.swing_top) {
+    swing_top_.push_back(resolve_mosfet(name));
+  }
+  for (const std::string& name : probes.swing_bottom) {
+    swing_bottom_.push_back(resolve_mosfet(name));
+  }
+  tech_.vdd = nominal.vsources()[static_cast<std::size_t>(vdd_source_)].dc;
+
+  if (!probes.step_source.empty()) {
+    step_source_ = resolve_vsource(probes.step_source);
+    const spice::VSource& src =
+        nominal.vsources()[static_cast<std::size_t>(step_source_)];
+    if (src.wave.kind != spice::SourceWaveform::Kind::kPulse) {
+      card_error(probes.line,
+                 ".probe step source '" + probes.step_source +
+                     "' must be a PULSE voltage source");
+    }
+    // Both expressions re-evaluate per design point in build(); the checks
+    // here validate the nominal values early, with the card's line.
+    if (!(probes.step_tstop.eval(nominal_params) > 0.0)) {
+      card_error(probes.line, ".probe step TSTOP must be positive");
+    }
+    if (!probes.step_settle.empty()) {
+      const double settle = probes.step_settle.eval(nominal_params);
+      if (!(settle > 0.0 && settle < 1.0)) {
+        card_error(probes.line, ".probe step SETTLE must be in (0, 1)");
+      }
+    }
+  }
+}
+
+std::string DeckTopology::name() const {
+  return deck_.title.empty() ? "deck" : deck_.title;
+}
+
+BuiltCircuit DeckTopology::build(std::span<const double> x,
+                                 Testbench testbench) const {
+  require(x.size() == vars_.size(), "DeckTopology: bad design vector size");
+  BuiltCircuit bc;
+  bc.netlist = deck_.instantiate(x);
+  bc.outp = outp_;
+  bc.outn = outn_;
+  bc.vdd_source = vdd_source_;
+  bc.vdd = bc.netlist.vsources()[static_cast<std::size_t>(vdd_source_)].dc;
+  bc.swing_top = swing_top_;
+  bc.swing_bottom = swing_bottom_;
+  for (const auto& m : bc.netlist.mosfets()) bc.gate_area += m.w * m.l;
+  if (testbench == Testbench::kStepBuffer) {
+    require(step_source_ >= 0,
+            "DeckTopology: deck has no .probe step card; transient "
+            "evaluation is unavailable for this deck");
+    const spice::VSource& src =
+        bc.netlist.vsources()[static_cast<std::size_t>(step_source_)];
+    bc.step.source = step_source_;
+    bc.step.v_step = src.wave.v2 - src.wave.v1;
+    bc.step.t_delay = src.wave.td;
+    const std::vector<double> pv = deck_.param_values(x);
+    bc.step.t_stop = deck_.probes.step_tstop.eval(pv);
+    if (!deck_.probes.step_settle.empty()) {
+      bc.step.settle_frac = deck_.probes.step_settle.eval(pv);
+    }
+  }
+  return bc;
+}
+
+namespace {
+
+std::shared_ptr<const DeckTopology> make_deck_topology(
+    spice::Deck deck, const EvalOptions& options) {
+  auto topology = std::make_shared<const DeckTopology>(std::move(deck));
+  if (options.transient && !topology->has_step_bench()) {
+    throw InvalidArgument(
+        "NetlistYieldProblem: transient evaluation needs a '.probe step' "
+        "card in the deck");
+  }
+  return topology;
+}
+
+}  // namespace
+
+NetlistYieldProblem::NetlistYieldProblem(spice::Deck deck, EvalOptions options)
+    : CircuitYieldProblem(make_deck_topology(std::move(deck), options),
+                          options),
+      deck_topology_(static_cast<const DeckTopology*>(&topology())) {}
+
+std::unique_ptr<NetlistYieldProblem> load_netlist_problem(
+    const std::string& path, EvalOptions options) {
+  return std::make_unique<NetlistYieldProblem>(spice::parse_deck_file(path),
+                                               options);
+}
+
+}  // namespace moheco::circuits

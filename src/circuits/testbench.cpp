@@ -25,22 +25,25 @@ spice::NodeId attach_cmfb(spice::Netlist& netlist, spice::NodeId outp,
                           spice::NodeId outn, spice::NodeId base_bias,
                           double vref, double gain, const std::string& prefix) {
   const spice::NodeId gnd = 0;
+  // Device names carry the SPICE type letter FIRST (Eh1_cmfb, not
+  // cmfb_Eh1): the deck exporter/parser pair dispatches on that letter, so
+  // a prefixed-last name would not survive a deck round trip.
   // Loading-free common-mode sense: two stacked half-gain VCVS.
   const spice::NodeId half = netlist.node(prefix + "_half");
   const spice::NodeId sense = netlist.node(prefix + "_sense");
-  netlist.add_vcvs(prefix + "_Eh1", half, gnd, outp, gnd, 0.5);
-  netlist.add_vcvs(prefix + "_Eh2", sense, half, outn, gnd, 0.5);
+  netlist.add_vcvs("Eh1_" + prefix, half, gnd, outp, gnd, 0.5);
+  netlist.add_vcvs("Eh2_" + prefix, sense, half, outn, gnd, 0.5);
   const spice::NodeId ref = netlist.node(prefix + "_ref");
-  netlist.add_vsource(prefix + "_Vref", ref, gnd, vref);
+  netlist.add_vsource("Vref_" + prefix, ref, gnd, vref);
   // Copy the bias voltage through a unity VCVS before stacking the CM
   // correction on it: the gate-charging current of the controlled devices
   // then returns to ground through the ideal sources instead of disturbing
   // the bias network (which would couple large-signal CM transients into
   // the bias loop and ring it).
   const spice::NodeId base_copy = netlist.node(prefix + "_base");
-  netlist.add_vcvs(prefix + "_Eb", base_copy, gnd, base_bias, gnd, 1.0);
+  netlist.add_vcvs("Eb_" + prefix, base_copy, gnd, base_bias, gnd, 1.0);
   const spice::NodeId ctl = netlist.node(prefix + "_ctl");
-  netlist.add_vcvs(prefix + "_Ecm", ctl, base_copy, sense, ref, gain);
+  netlist.add_vcvs("Ecm_" + prefix, ctl, base_copy, sense, ref, gain);
   return ctl;
 }
 

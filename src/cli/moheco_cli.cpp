@@ -1,0 +1,472 @@
+// moheco_cli: the deck-driven command-line front end.
+//
+// Loads a SPICE deck with the MOHECO extension cards (see
+// src/spice/deck_parser.hpp for the dialect), wraps it as a
+// circuits::NetlistYieldProblem and either
+//   - runs the MOHECO yield optimizer on it (default),
+//   - estimates the MC yield at the deck's nominal sizing (--estimate), or
+//   - prints the nominal-point performance (--nominal),
+// then reports results as text, optionally as a JSON object (--json=) and
+// as a sized deck at the chosen design (--deck-out=).  --warm-cache=DIR
+// persists the evaluation scheduler's warm-start blob store across
+// invocations through the ResultsCache, so repeated runs over recurring
+// sizings skip their nominal re-measurements.
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/circuits/netlist_problem.hpp"
+#include "src/common/error.hpp"
+#include "src/common/results_cache.hpp"
+#include "src/core/moheco.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
+#include "src/spice/netlist_format.hpp"
+
+namespace {
+
+using namespace moheco;
+
+enum class Mode { kOptimize, kEstimate, kNominal };
+
+struct CliOptions {
+  std::string deck_path;
+  Mode mode = Mode::kOptimize;
+  long long estimate_samples = 2000;
+  core::MohecoOptions moheco;
+  circuits::EvalOptions eval;
+  std::string json_path;
+  std::string deck_out_path;
+  std::string warm_cache_dir;
+  bool quiet = false;
+};
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: moheco_cli DECK.cir [options]\n"
+               "\n"
+               "modes (default: run the MOHECO yield optimizer):\n"
+               "  --estimate[=N]        MC yield estimate at the nominal .param sizing\n"
+               "                        (default N=2000 samples)\n"
+               "  --nominal             print the nominal-point performance and exit\n"
+               "\n"
+               "optimizer options (mirroring core::MohecoOptions):\n"
+               "  --population=N --max-generations=N --stop-stagnation=N\n"
+               "  --seed=S --threads=N --sampling=lhs|pmc\n"
+               "  --no-ocba [--fixed-budget=N] --no-memetic --no-overlap\n"
+               "\n"
+               "evaluation:\n"
+               "  --transient           step-bench transient per sample (deck needs\n"
+               "                        a .probe step card)\n"
+               "  --backend=dense|sparse|auto\n"
+               "\n"
+               "outputs:\n"
+               "  --json=PATH           machine-readable results\n"
+               "  --deck-out=PATH       sized deck at the reported design\n"
+               "  --warm-cache=DIR      persist warm-start blobs across runs\n"
+               "  --quiet               suppress the text report\n");
+}
+
+bool parse_long(const std::string& text, long long* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoll(begin, &end, 10);
+  return end != begin && *end == '\0' && errno != ERANGE;
+}
+
+long long need_int(const std::string& arg, const std::string& value) {
+  long long v = 0;
+  if (!parse_long(value, &v)) {
+    throw InvalidArgument("moheco_cli: bad integer in " + arg);
+  }
+  return v;
+}
+
+/// need_int for flags stored as int (population, threads, ...): a value
+/// outside int range must error, not silently truncate.
+int need_int32(const std::string& arg, const std::string& value) {
+  const long long v = need_int(arg, value);
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw InvalidArgument("moheco_cli: value out of range in " + arg);
+  }
+  return static_cast<int>(v);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (key == "--estimate") {
+      cli.mode = Mode::kEstimate;
+      if (!value.empty()) cli.estimate_samples = need_int(arg, value);
+    } else if (arg == "--nominal") {
+      cli.mode = Mode::kNominal;
+    } else if (key == "--population") {
+      cli.moheco.population = need_int32(arg, value);
+    } else if (key == "--max-generations") {
+      cli.moheco.max_generations = need_int32(arg, value);
+    } else if (key == "--stop-stagnation") {
+      cli.moheco.stop_stagnation = need_int32(arg, value);
+    } else if (key == "--seed") {
+      cli.moheco.seed = static_cast<std::uint64_t>(need_int(arg, value));
+    } else if (key == "--threads") {
+      cli.moheco.threads = need_int32(arg, value);
+    } else if (key == "--fixed-budget") {
+      cli.moheco.fixed_budget = need_int32(arg, value);
+    } else if (arg == "--no-ocba") {
+      cli.moheco.use_ocba = false;
+    } else if (arg == "--no-memetic") {
+      cli.moheco.use_memetic = false;
+    } else if (arg == "--no-overlap") {
+      cli.moheco.overlap_generations = false;
+    } else if (key == "--sampling") {
+      cli.moheco.estimation.mc.sampling = stats::parse_sampling_method(value);
+    } else if (arg == "--transient") {
+      cli.eval.transient = true;
+    } else if (key == "--backend") {
+      if (value == "dense") {
+        cli.eval.backend = spice::SolverBackend::kDense;
+      } else if (value == "sparse") {
+        cli.eval.backend = spice::SolverBackend::kSparse;
+      } else if (value == "auto") {
+        cli.eval.backend = spice::SolverBackend::kAuto;
+      } else {
+        throw InvalidArgument("moheco_cli: unknown backend '" + value + "'");
+      }
+    } else if (key == "--json") {
+      cli.json_path = value;
+    } else if (key == "--deck-out") {
+      cli.deck_out_path = value;
+    } else if (key == "--warm-cache") {
+      cli.warm_cache_dir = value;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw InvalidArgument("moheco_cli: unknown option '" + arg +
+                            "' (see --help)");
+    } else if (cli.deck_path.empty()) {
+      cli.deck_path = arg;
+    } else {
+      throw InvalidArgument("moheco_cli: more than one deck given");
+    }
+  }
+  if (cli.deck_path.empty()) {
+    print_usage();
+    throw InvalidArgument("moheco_cli: no deck file given");
+  }
+  return cli;
+}
+
+std::string fmt(double v) {
+  // Bare inf/nan are not valid JSON tokens; emit null instead.
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Minimal JSON object builder (flat + nested objects only).
+class JsonObject {
+ public:
+  void add_string(const std::string& key, const std::string& value) {
+    field(key) << '"' << json_escape(value) << '"';
+  }
+  void add_number(const std::string& key, double value) {
+    field(key) << fmt(value);
+  }
+  void add_int(const std::string& key, long long value) {
+    field(key) << value;
+  }
+  void add_bool(const std::string& key, bool value) {
+    field(key) << (value ? "true" : "false");
+  }
+  void add_raw(const std::string& key, const std::string& body) {
+    field(key) << body;
+  }
+  std::string str() const { return "{" + body_.str() + "}"; }
+
+ private:
+  std::ostringstream& field(const std::string& key) {
+    if (!first_) body_ << ',';
+    first_ = false;
+    body_ << '"' << json_escape(key) << "\":";
+    return body_;
+  }
+  std::ostringstream body_;
+  bool first_ = true;
+};
+
+std::string json_design(const circuits::DeckTopology& topology,
+                        std::span<const double> x) {
+  JsonObject obj;
+  const auto& vars = topology.design_vars();
+  for (std::size_t i = 0; i < vars.size() && i < x.size(); ++i) {
+    obj.add_number(vars[i].name, x[i]);
+  }
+  return obj.str();
+}
+
+std::string json_performance(const circuits::Performance& perf) {
+  JsonObject obj;
+  obj.add_bool("valid", perf.valid);
+  obj.add_number("a0_db", perf.a0_db);
+  obj.add_number("gbw", perf.gbw);
+  obj.add_number("pm_deg", perf.pm_deg);
+  obj.add_number("swing", perf.swing);
+  obj.add_number("power", perf.power);
+  obj.add_number("offset", perf.offset);
+  obj.add_number("area", perf.area);
+  obj.add_number("sat_margin", perf.sat_margin);
+  obj.add_number("slew_rate", perf.slew_rate);
+  obj.add_number("settling_time", perf.settling_time);
+  return obj.str();
+}
+
+std::string json_sim_breakdown(const mc::SimBreakdown& b) {
+  JsonObject obj;
+  obj.add_int("screen", b.screen);
+  obj.add_int("stage1", b.stage1);
+  obj.add_int("ocba", b.ocba);
+  obj.add_int("stage2", b.stage2);
+  obj.add_int("other", b.other);
+  obj.add_int("total", b.total());
+  return obj.str();
+}
+
+std::string json_sched_breakdown(const mc::SchedBreakdown& b) {
+  JsonObject obj;
+  obj.add_int("session_hits", b.session_hits);
+  obj.add_int("cold_opens", b.cold_opens);
+  obj.add_int("warm_opens", b.warm_opens);
+  obj.add_int("affinity_hits", b.affinity_hits);
+  obj.add_int("steals", b.steals);
+  obj.add_int("migrations", b.migrations);
+  return obj.str();
+}
+
+/// ResultsCache key of the deck's warm-blob snapshot: the deck file stem
+/// plus a hash of the deck text.  The content hash matters: a warm-start
+/// blob is validated against the design vector and the solver's structural
+/// pattern key only, so editing a component value in the deck (same
+/// structure, same .param nominals) would otherwise replay the OLD deck's
+/// baked-in nominal performance from the cache.
+std::string warm_cache_key(const std::string& deck_path,
+                           const std::string& deck_text) {
+  std::size_t start = deck_path.find_last_of("/\\");
+  start = start == std::string::npos ? 0 : start + 1;
+  std::size_t end = deck_path.rfind('.');
+  if (end == std::string::npos || end <= start) end = deck_path.size();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const char c : deck_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return "warmblobs_" + deck_path.substr(start, end - start) + "_" + hex;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int run(const CliOptions& cli) {
+  std::string deck_text;
+  {
+    std::ifstream in(cli.deck_path);
+    if (!in) {
+      throw spice::DeckError(cli.deck_path, 0, 0, "cannot open deck file");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    deck_text = buffer.str();
+  }
+  spice::Deck deck = spice::parse_deck_string(deck_text, cli.deck_path);
+  circuits::NetlistYieldProblem problem(std::move(deck), cli.eval);
+  const circuits::DeckTopology& topology = problem.deck_topology();
+  const std::vector<double> nominal = problem.nominal_x();
+
+  if (!cli.quiet) {
+    std::printf("deck:    %s (\"%s\")\n", cli.deck_path.c_str(),
+                topology.name().c_str());
+    std::printf("problem: %d transistors, %zu design variables, %zu process "
+                "variables, %zu specs (+%zu transient)\n",
+                topology.num_transistors(), problem.num_design_vars(),
+                problem.noise_dim(), topology.specs().size(),
+                topology.transient_specs().size());
+  }
+
+  JsonObject json;
+  json.add_string("deck", cli.deck_path);
+  json.add_string("title", topology.name());
+  json.add_int("seed", static_cast<long long>(cli.moheco.seed));
+  json.add_int("num_design_vars",
+               static_cast<long long>(problem.num_design_vars()));
+  json.add_int("noise_dim", static_cast<long long>(problem.noise_dim()));
+
+  std::vector<double> reported_x = nominal;
+  const std::string cache_key = warm_cache_key(cli.deck_path, deck_text);
+
+  if (cli.mode == Mode::kNominal) {
+    json.add_string("mode", "nominal");
+    const circuits::Performance perf =
+        problem.performance(nominal, /*xi=*/{});
+    if (!cli.quiet) {
+      std::printf("nominal: A0 = %.2f dB, GBW = %.3f MHz, PM = %.1f deg, "
+                  "swing = %.2f V, power = %.3f mW, offset = %.2f mV\n",
+                  perf.a0_db, perf.gbw / 1e6, perf.pm_deg, perf.swing,
+                  perf.power * 1e3, perf.offset * 1e3);
+      // problem.specs() already includes the transient specs when
+      // --transient is on, unlike topology.specs().
+      std::printf("specs %s at the nominal point\n",
+                  circuits::passes(perf, problem.specs()) ? "PASS" : "FAIL");
+    }
+    json.add_raw("nominal_performance", json_performance(perf));
+    json.add_bool("nominal_pass", circuits::passes(perf, problem.specs()));
+  } else if (cli.mode == Mode::kEstimate) {
+    json.add_string("mode", "estimate");
+    ThreadPool pool(cli.moheco.threads);
+    mc::EvalScheduler scheduler(pool, cli.moheco.scheduler);
+    std::size_t imported = 0;
+    if (!cli.warm_cache_dir.empty()) {
+      const ResultsCache cache(cli.warm_cache_dir);
+      if (const auto blobs = cache.load(cache_key)) {
+        imported = scheduler.import_blobs(problem, *blobs);
+      }
+    }
+    mc::SimCounter sims;
+    const double yield = mc::reference_yield(
+        problem, nominal, cli.estimate_samples, cli.moheco.seed, scheduler,
+        cli.moheco.estimation.mc.sampling, &sims);
+    if (!cli.warm_cache_dir.empty()) {
+      ResultsCache(cli.warm_cache_dir).store(cache_key,
+                                             scheduler.export_blobs());
+    }
+    if (!cli.quiet) {
+      std::printf("estimated yield at the nominal sizing: %.2f%% "
+                  "(%lld samples, seed %llu)\n",
+                  100.0 * yield, cli.estimate_samples,
+                  static_cast<unsigned long long>(cli.moheco.seed));
+    }
+    json.add_number("yield", yield);
+    json.add_int("samples", cli.estimate_samples);
+    json.add_int("warm_blobs_imported", static_cast<long long>(imported));
+    json.add_raw("sched_breakdown",
+                 json_sched_breakdown(sims.sched_breakdown()));
+  } else {
+    json.add_string("mode", "optimize");
+    core::MohecoOptimizer optimizer(problem, cli.moheco);
+    std::size_t imported = 0;
+    if (!cli.warm_cache_dir.empty()) {
+      const ResultsCache cache(cli.warm_cache_dir);
+      if (const auto blobs = cache.load(cache_key)) {
+        imported = optimizer.scheduler().import_blobs(problem, *blobs);
+      }
+    }
+    const core::MohecoResult result = optimizer.run();
+    if (!cli.warm_cache_dir.empty()) {
+      ResultsCache(cli.warm_cache_dir)
+          .store(cache_key, optimizer.scheduler().export_blobs());
+    }
+    reported_x = result.best.x;
+    if (!cli.quiet) {
+      std::printf("finished after %d generations, %lld simulations\n",
+                  result.generations, result.total_simulations);
+      if (result.best.fitness.feasible) {
+        std::printf("best yield: %.2f%% (%lld MC samples)\n",
+                    100.0 * result.best.fitness.yield, result.best.samples);
+      } else {
+        std::printf("no nominally feasible design found (violation %.4f)\n",
+                    result.best.fitness.violation);
+      }
+      const auto& vars = topology.design_vars();
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        std::printf("  %-12s = %.6g\n", vars[i].name.c_str(),
+                    result.best.x[i]);
+      }
+    }
+    json.add_bool("feasible", result.best.fitness.feasible);
+    json.add_number("best_yield", result.best.fitness.yield);
+    json.add_number("violation", result.best.fitness.violation);
+    json.add_int("best_samples", result.best.samples);
+    json.add_int("generations", result.generations);
+    json.add_int("total_simulations", result.total_simulations);
+    json.add_bool("reached_full_yield", result.reached_full_yield);
+    json.add_int("warm_blobs_imported", static_cast<long long>(imported));
+    json.add_raw("sim_breakdown", json_sim_breakdown(result.sim_breakdown));
+    json.add_raw("sched_breakdown",
+                 json_sched_breakdown(result.sched_breakdown));
+  }
+
+  json.add_raw("design", json_design(topology, reported_x));
+
+  if (!cli.deck_out_path.empty()) {
+    const std::string sized = spice::to_spice_deck(
+        problem.sized_netlist(reported_x), topology.name() + " (sized)");
+    if (!write_file(cli.deck_out_path, sized)) {
+      std::fprintf(stderr, "moheco_cli: cannot write %s\n",
+                   cli.deck_out_path.c_str());
+      return 1;
+    }
+    if (!cli.quiet) {
+      std::printf("sized deck written to %s\n", cli.deck_out_path.c_str());
+    }
+  }
+  if (!cli.json_path.empty()) {
+    if (!write_file(cli.json_path, json.str() + "\n")) {
+      std::fprintf(stderr, "moheco_cli: cannot write %s\n",
+                   cli.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const moheco::Error& e) {
+    std::fprintf(stderr, "moheco_cli: %s\n", e.what());
+    return 2;
+  }
+}

@@ -130,6 +130,11 @@ class MohecoOptimizer {
   /// returns.  Used by the Fig. 3 bench to inspect a "typical population".
   MohecoResult run_generations(int generations);
 
+  /// The run-wide evaluation scheduler.  Exposed so drivers can persist the
+  /// warm-start blob store across runs (EvalScheduler::export_blobs /
+  /// import_blobs through a ResultsCache); call only outside run().
+  mc::EvalScheduler& scheduler() { return scheduler_; }
+
  private:
   struct Evaluated {
     opt::Fitness fitness;

@@ -1,6 +1,7 @@
 #include "src/mc/eval_scheduler.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/common/error.hpp"
@@ -60,6 +61,44 @@ void EvalScheduler::park_blob(std::uint64_t x_hash,
     blobs_.erase(victim);
   }
   blobs_.emplace(x_hash, BlobEntry{problem, std::move(blob), blob_tick_});
+}
+
+ResultMap EvalScheduler::export_blobs() {
+  // Park the live sessions first (without evicting them): after a run the
+  // hottest candidates sit in the worker caches, not in the blob store.
+  for (WorkerCache& cache : caches_) {
+    for (CacheEntry& entry : cache.entries) {
+      if (entry.session) {
+        park_blob(entry.x_hash, entry.problem, *entry.session);
+      }
+    }
+  }
+  ResultMap out;
+  std::lock_guard<std::mutex> lock(blob_mutex_);
+  for (const auto& [hash, entry] : blobs_) {
+    out.emplace(std::to_string(hash), entry.blob);
+  }
+  return out;
+}
+
+std::size_t EvalScheduler::import_blobs(const YieldProblem& problem,
+                                        const ResultMap& blobs) {
+  if (options_.warm_start_blobs <= 0) return 0;
+  std::lock_guard<std::mutex> lock(blob_mutex_);
+  std::size_t imported = 0;
+  for (const auto& [key, blob] : blobs) {
+    if (blobs_.size() >= static_cast<std::size_t>(options_.warm_start_blobs)) {
+      break;
+    }
+    if (blob.empty()) continue;
+    char* end = nullptr;
+    const std::uint64_t hash = std::strtoull(key.c_str(), &end, 10);
+    if (end == key.c_str() || *end != '\0') continue;  // foreign key
+    if (blobs_.emplace(hash, BlobEntry{&problem, blob, ++blob_tick_}).second) {
+      ++imported;
+    }
+  }
+  return imported;
 }
 
 YieldProblem::Session* EvalScheduler::session_for(int worker,

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "src/common/parallel.hpp"
+#include "src/common/results_cache.hpp"
 #include "src/linalg/matrix.hpp"
 #include "src/mc/candidate_yield.hpp"
 #include "src/mc/sim_counter.hpp"
@@ -152,6 +153,24 @@ class EvalScheduler {
   void for_each(CandidateYield& tally, std::size_t rows,
                 const std::function<void(YieldProblem::Session&, std::size_t)>&
                     fn);
+
+  // --- warm-start blob persistence (see ROADMAP "persist the blob store"):
+  // repeated optimizer/bench runs over recurring sizings skip the nominal
+  // re-measurements of the previous run.  Both calls must happen between
+  // flushes (they walk the worker caches unlocked, like flush() itself).
+
+  /// Snapshot of the blob store as a ResultsCache-storable map (decimal
+  /// design-hash -> blob).  Live cached sessions are parked first, so the
+  /// hot candidates of the finished run are included, not just the evicted
+  /// ones.
+  ResultMap export_blobs();
+
+  /// Seeds the blob store from a previous export_blobs() snapshot,
+  /// attributing every blob to `problem`.  Safe against stale or foreign
+  /// snapshots: open_warm() implementations validate each blob and fall
+  /// back to a cold open.  Entries beyond the store capacity are dropped.
+  /// Returns the number of blobs imported.
+  std::size_t import_blobs(const YieldProblem& problem, const ResultMap& blobs);
 
   // --- instrumentation (relaxed atomics; exact between flushes) ---
   /// Sessions currently held across all worker caches.

@@ -1,0 +1,1071 @@
+#include "src/spice/deck_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_set>
+
+namespace moheco::spice {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// One token of a logical card, with its position for diagnostics.
+struct Tok {
+  std::string text;
+  int line = 0;
+  int col = 0;  // 1-based
+};
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == ':' || c == '!' || c == '#' || c == '@';
+}
+
+/// SPICE magnitude suffixes; `rest` is the lowercase tail after the numeric
+/// prefix.  Returns the multiplier and how many suffix characters matched.
+double suffix_multiplier(const std::string& rest, std::size_t* matched) {
+  *matched = 0;
+  if (rest.empty()) return 1.0;
+  if (rest.size() >= 3 && rest.compare(0, 3, "meg") == 0) {
+    *matched = 3;
+    return 1e6;
+  }
+  switch (rest[0]) {
+    case 't': *matched = 1; return 1e12;
+    case 'g': *matched = 1; return 1e9;
+    case 'k': *matched = 1; return 1e3;
+    case 'm': *matched = 1; return 1e-3;
+    case 'u': *matched = 1; return 1e-6;
+    case 'n': *matched = 1; return 1e-9;
+    case 'p': *matched = 1; return 1e-12;
+    case 'f': *matched = 1; return 1e-15;
+    default: return 1.0;
+  }
+}
+
+}  // namespace
+
+DeckError::DeckError(const std::string& source, int line, int column,
+                     const std::string& message)
+    : Error(source + ":" + std::to_string(line) + ":" + std::to_string(column) +
+            ": " + message),
+      line_(line),
+      column_(column) {}
+
+// --- DeckExpr -------------------------------------------------------------
+
+DeckExpr DeckExpr::constant(double v) {
+  DeckExpr e;
+  e.ops.push_back({OpKind::kConst, v, 0});
+  return e;
+}
+
+bool DeckExpr::is_constant() const {
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kParam) return false;
+  }
+  return true;
+}
+
+double DeckExpr::eval(std::span<const double> params) const {
+  require(!ops.empty(), "DeckExpr::eval: empty expression");
+  double stack[32];
+  int top = 0;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kConst:
+        require(top < 32, "DeckExpr::eval: expression too deep");
+        stack[top++] = op.value;
+        break;
+      case OpKind::kParam:
+        require(top < 32, "DeckExpr::eval: expression too deep");
+        require(op.param >= 0 &&
+                    static_cast<std::size_t>(op.param) < params.size(),
+                "DeckExpr::eval: parameter index out of range");
+        stack[top++] = params[static_cast<std::size_t>(op.param)];
+        break;
+      case OpKind::kNeg:
+        require(top >= 1, "DeckExpr::eval: malformed program");
+        stack[top - 1] = -stack[top - 1];
+        break;
+      default: {
+        require(top >= 2, "DeckExpr::eval: malformed program");
+        const double b = stack[--top];
+        double& a = stack[top - 1];
+        switch (op.kind) {
+          case OpKind::kAdd: a += b; break;
+          case OpKind::kSub: a -= b; break;
+          case OpKind::kMul: a *= b; break;
+          case OpKind::kDiv: a /= b; break;
+          default: break;
+        }
+        break;
+      }
+    }
+  }
+  require(top == 1, "DeckExpr::eval: malformed program");
+  return stack[0];
+}
+
+// --- Deck -----------------------------------------------------------------
+
+std::vector<std::size_t> Deck::design_params() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].is_design) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Deck::param_index(const std::string& name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<double> Deck::param_values(std::span<const double> design) const {
+  const std::vector<std::size_t> design_idx = design_params();
+  require(design.empty() || design.size() == design_idx.size(),
+          "Deck: design vector size mismatch");
+  std::vector<double> values(params.size(), 0.0);
+  std::size_t next_design = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].is_design && !design.empty()) {
+      values[i] = design[next_design++];
+    } else {
+      // Nominal (or fixed) value; may reference earlier entries, including
+      // design variables already overridden above.
+      values[i] = params[i].value.eval({values.data(), i});
+      if (params[i].is_design) ++next_design;
+    }
+  }
+  return values;
+}
+
+std::vector<double> Deck::nominal_design() const {
+  const std::vector<double> values = param_values({});
+  std::vector<double> out;
+  for (std::size_t i : design_params()) out.push_back(values[i]);
+  return out;
+}
+
+Netlist Deck::instantiate(std::span<const double> design) const {
+  const std::vector<double> pv = param_values(design);
+  auto ev = [&](const DeckExpr& e) { return e.eval(pv); };
+
+  Netlist n;
+  for (const std::string& name : node_order) n.node(name);
+
+  for (const DeckDevice& d : devices) {
+    auto node = [&](std::size_t i) { return n.node(d.nodes[i]); };
+    switch (d.kind) {
+      case DeckDevice::Kind::kResistor:
+        n.add_resistor(d.name, node(0), node(1), ev(d.value));
+        break;
+      case DeckDevice::Kind::kCapacitor:
+        n.add_capacitor(d.name, node(0), node(1), ev(d.value));
+        break;
+      case DeckDevice::Kind::kInductor:
+        n.add_inductor(d.name, node(0), node(1), ev(d.value));
+        break;
+      case DeckDevice::Kind::kVSource: {
+        int index = -1;
+        switch (d.wave) {
+          case SourceWaveform::Kind::kDc:
+            index = n.add_vsource(d.name, node(0), node(1),
+                                  d.dc.empty() ? 0.0 : ev(d.dc));
+            break;
+          case SourceWaveform::Kind::kPulse: {
+            double p[7];
+            for (int i = 0; i < 7; ++i) {
+              p[i] = ev(d.wave_params[static_cast<std::size_t>(i)]);
+            }
+            index = n.add_pulse_vsource(d.name, node(0), node(1), p[0], p[1],
+                                        p[2], p[3], p[4], p[5], p[6]);
+            break;
+          }
+          case SourceWaveform::Kind::kPwl: {
+            std::vector<std::pair<double, double>> points;
+            for (std::size_t i = 0; i + 1 < d.wave_params.size(); i += 2) {
+              points.emplace_back(ev(d.wave_params[i]),
+                                  ev(d.wave_params[i + 1]));
+            }
+            index = n.add_pwl_vsource(d.name, node(0), node(1), points);
+            break;
+          }
+        }
+        // An explicit DC token overrides the waveform-derived DC value
+        // (the exporter always emits both, and they agree).
+        if (!d.dc.empty()) n.vsource(index).dc = ev(d.dc);
+        if (!d.ac.empty()) n.vsource(index).ac_mag = ev(d.ac);
+        break;
+      }
+      case DeckDevice::Kind::kISource:
+        n.add_isource(d.name, node(0), node(1), d.dc.empty() ? 0.0 : ev(d.dc),
+                      d.ac.empty() ? 0.0 : ev(d.ac));
+        break;
+      case DeckDevice::Kind::kVcvs:
+        n.add_vcvs(d.name, node(0), node(1), node(2), node(3), ev(d.value));
+        break;
+      case DeckDevice::Kind::kVccs:
+        n.add_vccs(d.name, node(0), node(1), node(2), node(3), ev(d.value));
+        break;
+      case DeckDevice::Kind::kMosfet: {
+        auto it = models.find(d.model);
+        if (it == models.end()) {
+          throw DeckError(source, d.line, 1,
+                          "MOSFET '" + d.name + "' references undefined model '" +
+                              d.model + "'");
+        }
+        const DeckModel& card = it->second;
+        MosModel m;
+        bool have_lref = false;
+        bool have_u0_si = false;
+        for (const auto& [key, expr] : card.values) {
+          const double v = expr.eval(pv);
+          if (key == "LEVEL") {
+            if (v != 1.0) {
+              throw DeckError(source, card.line, 1,
+                              "only LEVEL=1 model cards are supported");
+            }
+          } else if (key == "VTO") {
+            m.vth0 = card.is_pmos ? -v : v;
+            if (m.vth0 < 0.0) {
+              throw DeckError(source, card.line, 1,
+                              "depletion-mode VTO is not supported");
+            }
+          } else if (key == "GAMMA") {
+            m.gamma = v;
+          } else if (key == "PHI") {
+            m.phi = v;
+          } else if (key == "LAMBDA") {
+            m.lambda = v;
+          } else if (key == "LREF") {
+            m.lambda_lref = v;
+            have_lref = true;
+          } else if (key == "TOX") {
+            m.tox = v;
+          } else if (key == "U0") {
+            // MOHECO extension: mobility in raw SI units, exact where the
+            // UO unit conversion double-rounds.  Takes precedence over UO
+            // (the map iterates U0 before UO).
+            m.u0 = v;
+            have_u0_si = true;
+          } else if (key == "UO") {
+            // Deck carries cm^2/Vs; dividing by the exactly-representable
+            // 1e4 undoes the exporter's u0 * 1e4 for most values (the U0
+            // extension token covers the rest exactly).
+            if (!have_u0_si) m.u0 = v / 1e4;
+          } else if (key == "LD") {
+            m.ld = v;
+          } else if (key == "WD") {
+            m.wd = v;
+          } else if (key == "NSUB") {
+            m.n_sub = v;
+          } else if (key == "LDIFF") {
+            m.ldiff = v;
+          } else if (key == "CGSO") {
+            m.cgso = v;
+          } else if (key == "CGDO") {
+            m.cgdo = v;
+          } else if (key == "CJ") {
+            m.cj = v;
+          } else if (key == "CJSW") {
+            m.cjsw = v;
+          } else {
+            throw DeckError(source, card.line, 1,
+                            "unknown .model parameter '" + key + "'");
+          }
+        }
+        const double w = ev(d.w), l = ev(d.l);
+        if (!have_lref) {
+          // Without an LREF extension token the deck's LAMBDA is the
+          // effective channel-length modulation of THIS instance (standard
+          // SPICE semantics): anchor the scaling law at the instance's
+          // effective length so lambda_at(l_eff) returns it verbatim.
+          m.lambda_lref = std::max(l - 2.0 * m.ld, 1e-8);
+        }
+        n.add_mosfet(d.name, node(0), node(1), node(2), node(3), card.is_pmos,
+                     w, l, m);
+        break;
+      }
+    }
+  }
+  n.validate();
+  return n;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+/// Parser working state: the deck under construction plus diagnostics
+/// context and the param symbol table.
+class ParserState {
+ public:
+  ParserState(std::istream& in, std::string source) : in_(in) {
+    deck_.source = std::move(source);
+  }
+
+  Deck run() {
+    read_title();
+    std::vector<Tok> card;
+    while (!saw_end_ && next_card(&card)) parse_card(card);
+    finish();
+    return std::move(deck_);
+  }
+
+ private:
+  [[noreturn]] void fail(const Tok& at, const std::string& message) const {
+    throw DeckError(deck_.source, at.line, at.col, message);
+  }
+  [[noreturn]] void fail(int line, const std::string& message) const {
+    throw DeckError(deck_.source, line, 1, message);
+  }
+
+  // -- input / tokenization ------------------------------------------------
+
+  struct RawLine {
+    std::string text;
+    int number = 0;
+  };
+
+  /// Next physical line, honoring one line of push-back.
+  bool fetch_line(RawLine* out) {
+    if (have_pending_) {
+      *out = std::move(pending_);
+      have_pending_ = false;
+      return true;
+    }
+    if (!std::getline(in_, out->text)) return false;
+    out->number = ++line_no_;
+    if (!out->text.empty() && out->text.back() == '\r') out->text.pop_back();
+    return true;
+  }
+
+  void read_title() {
+    RawLine line;
+    while (fetch_line(&line)) {
+      std::size_t i = line.text.find_first_not_of(" \t");
+      if (i == std::string::npos) continue;
+      if (line.text[i] == '*') {
+        // SPICE convention: the first line is the title card.
+        i = line.text.find_first_not_of(" \t", i + 1);
+        deck_.title = i == std::string::npos ? "" : line.text.substr(i);
+        return;
+      }
+      // No title card; the first line is a regular card.
+      pending_ = std::move(line);
+      have_pending_ = true;
+      return;
+    }
+  }
+
+  /// Reads one logical card (with '+' continuations) into `out`.
+  bool next_card(std::vector<Tok>* out) {
+    out->clear();
+    RawLine line;
+    while (true) {
+      if (!fetch_line(&line)) return !out->empty();
+      const std::size_t first = line.text.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;  // blank line
+      if (line.text[first] == '*') continue;     // comment line
+      if (line.text[first] == '+') {
+        if (out->empty()) {
+          fail(line.number, "continuation line without a preceding card");
+        }
+        tokenize(line, first + 1, out);
+        continue;
+      }
+      if (!out->empty()) {
+        // A fresh card begins: push the line back for the next call.
+        pending_ = std::move(line);
+        have_pending_ = true;
+        return true;
+      }
+      card_line_ = line.number;
+      tokenize(line, first, out);
+    }
+  }
+
+  void tokenize(const RawLine& raw, std::size_t start, std::vector<Tok>* out) {
+    const std::string& line = raw.text;
+    const int line_no = raw.number;
+    std::size_t i = start;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == ' ' || c == '\t' || c == ',') {
+        ++i;
+        continue;
+      }
+      if (c == ';') break;  // inline comment
+      const int col = static_cast<int>(i) + 1;
+      if (c == '(' || c == ')' || c == '=') {
+        out->push_back({std::string(1, c), line_no, col});
+        ++i;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        // Comparison tokens of .spec cards; '>=' must not split into '>'
+        // '=' like a KEY=value pair would.
+        if (i + 1 < line.size() && line[i + 1] == '=') {
+          out->push_back({std::string(1, c) + "=", line_no, col});
+          i += 2;
+        } else {
+          out->push_back({std::string(1, c), line_no, col});
+          ++i;
+        }
+        continue;
+      }
+      if (c == '"') {
+        const std::size_t close = line.find('"', i + 1);
+        if (close == std::string::npos) {
+          fail({line.substr(i), line_no, col}, "unterminated string");
+        }
+        out->push_back({line.substr(i + 1, close - i - 1), line_no, col});
+        i = close + 1;
+        continue;
+      }
+      if (c == '{') {
+        int depth = 0;
+        std::size_t j = i;
+        for (; j < line.size(); ++j) {
+          if (line[j] == '{') ++depth;
+          if (line[j] == '}' && --depth == 0) break;
+        }
+        if (depth != 0) {
+          fail({line.substr(i), line_no, col}, "unterminated '{' expression");
+        }
+        out->push_back({line.substr(i, j - i + 1), line_no, col});
+        i = j + 1;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+             line[j] != ',' && line[j] != '(' && line[j] != ')' &&
+             line[j] != '=' && line[j] != ';' && line[j] != '{' &&
+             line[j] != '<' && line[j] != '>' && line[j] != '"') {
+        ++j;
+      }
+      out->push_back({line.substr(i, j - i), line_no, col});
+      i = j;
+    }
+  }
+
+  // -- values and expressions ----------------------------------------------
+
+  double parse_number(const Tok& tok) const {
+    const char* begin = tok.text.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail(tok, "expected a number, got '" + tok.text + "'");
+    std::size_t matched = 0;
+    const double mult =
+        suffix_multiplier(lower(tok.text.substr(
+                              static_cast<std::size_t>(end - begin))),
+                          &matched);
+    // Any residual letters after the suffix are a unit annotation (10pF).
+    for (std::size_t k = static_cast<std::size_t>(end - begin) + matched;
+         k < tok.text.size(); ++k) {
+      if (!std::isalpha(static_cast<unsigned char>(tok.text[k]))) {
+        fail(tok, "trailing garbage in number '" + tok.text + "'");
+      }
+    }
+    return v * mult;
+  }
+
+  int lookup_param(const Tok& at, const std::string& name) const {
+    for (std::size_t i = 0; i < deck_.params.size(); ++i) {
+      if (deck_.params[i].name == name) return static_cast<int>(i);
+    }
+    fail(at, "unknown parameter '" + name + "' (declare it with .param first)");
+  }
+
+  /// Value token: a plain number (with magnitude suffix) or a brace
+  /// expression over .param names.
+  DeckExpr parse_value(const Tok& tok) const {
+    if (!tok.text.empty() && tok.text.front() == '{') {
+      const std::string body = tok.text.substr(1, tok.text.size() - 2);
+      ExprCursor cur{body, 0, tok};
+      DeckExpr e;
+      parse_sum(&cur, &e);
+      skip_ws(&cur);
+      if (cur.pos != body.size()) {
+        fail(tok, "trailing garbage in expression '{" + body + "}'");
+      }
+      return e;
+    }
+    return DeckExpr::constant(parse_number(tok));
+  }
+
+  struct ExprCursor {
+    const std::string& text;
+    std::size_t pos;
+    const Tok& at;  // token the expression came from (diagnostics)
+  };
+
+  static void skip_ws(ExprCursor* c) {
+    while (c->pos < c->text.size() &&
+           (c->text[c->pos] == ' ' || c->text[c->pos] == '\t')) {
+      ++c->pos;
+    }
+  }
+
+  void parse_sum(ExprCursor* c, DeckExpr* e) const {
+    parse_term(c, e);
+    while (true) {
+      skip_ws(c);
+      if (c->pos >= c->text.size()) return;
+      const char op = c->text[c->pos];
+      if (op != '+' && op != '-') return;
+      ++c->pos;
+      parse_term(c, e);
+      e->ops.push_back({op == '+' ? DeckExpr::OpKind::kAdd
+                                  : DeckExpr::OpKind::kSub,
+                        0.0, 0});
+    }
+  }
+
+  void parse_term(ExprCursor* c, DeckExpr* e) const {
+    parse_factor(c, e);
+    while (true) {
+      skip_ws(c);
+      if (c->pos >= c->text.size()) return;
+      const char op = c->text[c->pos];
+      if (op != '*' && op != '/') return;
+      ++c->pos;
+      parse_factor(c, e);
+      e->ops.push_back({op == '*' ? DeckExpr::OpKind::kMul
+                                  : DeckExpr::OpKind::kDiv,
+                        0.0, 0});
+    }
+  }
+
+  void parse_factor(ExprCursor* c, DeckExpr* e) const {
+    skip_ws(c);
+    if (c->pos >= c->text.size()) {
+      fail(c->at, "expression ends unexpectedly in '{" + c->text + "}'");
+    }
+    const char ch = c->text[c->pos];
+    if (ch == '-') {
+      ++c->pos;
+      parse_factor(c, e);
+      e->ops.push_back({DeckExpr::OpKind::kNeg, 0.0, 0});
+      return;
+    }
+    if (ch == '(') {
+      ++c->pos;
+      parse_sum(c, e);
+      skip_ws(c);
+      if (c->pos >= c->text.size() || c->text[c->pos] != ')') {
+        fail(c->at, "missing ')' in expression '{" + c->text + "}'");
+      }
+      ++c->pos;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) || ch == '.') {
+      const char* begin = c->text.c_str() + c->pos;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end == begin) fail(c->at, "bad number in expression");
+      c->pos += static_cast<std::size_t>(end - begin);
+      // Magnitude suffix directly attached to the literal (2.2k).
+      std::size_t s = c->pos;
+      while (s < c->text.size() &&
+             std::isalpha(static_cast<unsigned char>(c->text[s]))) {
+        ++s;
+      }
+      std::size_t matched = 0;
+      const double mult = suffix_multiplier(
+          lower(c->text.substr(c->pos, s - c->pos)), &matched);
+      if (matched > 0) c->pos += matched;
+      e->ops.push_back({DeckExpr::OpKind::kConst, v * mult, 0});
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::size_t s = c->pos;
+      while (s < c->text.size() && is_name_char(c->text[s])) ++s;
+      const std::string name = c->text.substr(c->pos, s - c->pos);
+      c->pos = s;
+      e->ops.push_back(
+          {DeckExpr::OpKind::kParam, 0.0, lookup_param(c->at, name)});
+      return;
+    }
+    fail(c->at, std::string("unexpected character '") + ch + "' in expression");
+  }
+
+  // -- cards ---------------------------------------------------------------
+
+  const Tok& need(const std::vector<Tok>& card, std::size_t i,
+                  const std::string& what) const {
+    if (i >= card.size()) {
+      fail(card.empty() ? Tok{"", card_line_, 1} : card.back(),
+           "card ends early: expected " + what);
+    }
+    return card[i];
+  }
+
+  /// Consumes `KEY = value`-style options from position `i` to the card
+  /// end; returns (uppercased key -> value token index) while validating
+  /// '=' placement.
+  std::vector<std::pair<std::string, std::size_t>> key_values(
+      const std::vector<Tok>& card, std::size_t i) const {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    while (i < card.size()) {
+      const std::string key = upper(card[i].text);
+      if (i + 1 >= card.size() || card[i + 1].text != "=") {
+        fail(card[i], "expected " + key + "=<value>");
+      }
+      need(card, i + 2, "a value after '" + key + "='");
+      out.emplace_back(key, i + 2);
+      i += 3;
+    }
+    return out;
+  }
+
+  void parse_card(const std::vector<Tok>& card) {
+    const Tok& head = card.front();
+    if (head.text[0] == '.') {
+      parse_dot_card(card);
+      return;
+    }
+    switch (std::toupper(static_cast<unsigned char>(head.text[0]))) {
+      case 'R': parse_two_node(card, DeckDevice::Kind::kResistor); break;
+      case 'C': parse_two_node(card, DeckDevice::Kind::kCapacitor); break;
+      case 'L': parse_two_node(card, DeckDevice::Kind::kInductor); break;
+      case 'V': parse_source(card, /*is_vsource=*/true); break;
+      case 'I': parse_source(card, /*is_vsource=*/false); break;
+      case 'E': parse_controlled(card, DeckDevice::Kind::kVcvs); break;
+      case 'G': parse_controlled(card, DeckDevice::Kind::kVccs); break;
+      case 'M': parse_mosfet(card); break;
+      default:
+        fail(head, "unknown device type '" + head.text +
+                       "' (expected R/C/L/V/I/E/G/M or a .card)");
+    }
+  }
+
+  DeckDevice& new_device(const Tok& head, DeckDevice::Kind kind) {
+    if (!device_names_.insert(head.text).second) {
+      fail(head, "duplicate device name '" + head.text + "'");
+    }
+    deck_.devices.emplace_back();
+    DeckDevice& d = deck_.devices.back();
+    d.kind = kind;
+    d.name = head.text;
+    d.line = head.line;
+    return d;
+  }
+
+  void parse_two_node(const std::vector<Tok>& card, DeckDevice::Kind kind) {
+    DeckDevice& d = new_device(card.front(), kind);
+    d.nodes = {need(card, 1, "a node").text, need(card, 2, "a node").text};
+    d.value = parse_value(need(card, 3, "a value"));
+    if (card.size() > 4) fail(card[4], "trailing garbage on device card");
+  }
+
+  void parse_controlled(const std::vector<Tok>& card, DeckDevice::Kind kind) {
+    DeckDevice& d = new_device(card.front(), kind);
+    d.nodes = {need(card, 1, "a node").text, need(card, 2, "a node").text,
+               need(card, 3, "a control node").text,
+               need(card, 4, "a control node").text};
+    d.value = parse_value(need(card, 5, "a gain"));
+    if (card.size() > 6) fail(card[6], "trailing garbage on device card");
+  }
+
+  void parse_source(const std::vector<Tok>& card, bool is_vsource) {
+    DeckDevice& d = new_device(
+        card.front(),
+        is_vsource ? DeckDevice::Kind::kVSource : DeckDevice::Kind::kISource);
+    d.nodes = {need(card, 1, "a node").text, need(card, 2, "a node").text};
+    std::size_t i = 3;
+    while (i < card.size()) {
+      const std::string key = upper(card[i].text);
+      if (key == "DC") {
+        d.dc = parse_value(need(card, i + 1, "a DC value"));
+        i += 2;
+      } else if (key == "AC") {
+        d.ac = parse_value(need(card, i + 1, "an AC magnitude"));
+        i += 2;
+      } else if ((key == "PULSE" || key == "PWL") && is_vsource) {
+        d.wave = key == "PULSE" ? SourceWaveform::Kind::kPulse
+                                : SourceWaveform::Kind::kPwl;
+        std::size_t j = i + 1;
+        const bool parens = j < card.size() && card[j].text == "(";
+        if (parens) ++j;
+        while (j < card.size() && card[j].text != ")") {
+          d.wave_params.push_back(parse_value(card[j]));
+          ++j;
+        }
+        if (parens) {
+          if (j >= card.size()) fail(card[i], "missing ')' after " + key);
+          ++j;  // consume ')'
+        }
+        if (d.wave == SourceWaveform::Kind::kPulse &&
+            d.wave_params.size() != 7) {
+          fail(card[i], "PULSE takes exactly 7 values (v1 v2 td tr tf pw "
+                        "period), got " +
+                            std::to_string(d.wave_params.size()));
+        }
+        if (d.wave == SourceWaveform::Kind::kPwl &&
+            (d.wave_params.size() < 4 || d.wave_params.size() % 2 != 0)) {
+          fail(card[i], "PWL takes an even number (>= 4) of values");
+        }
+        i = j;
+      } else if (i == 3 && card[i].text != "(" && key != "PULSE" &&
+                 key != "PWL") {
+        // Bare value shorthand: "V1 a 0 1.5".
+        d.dc = parse_value(card[i]);
+        ++i;
+      } else {
+        fail(card[i], "unexpected token '" + card[i].text + "' on a source "
+                      "card (expected DC/AC" +
+                          std::string(is_vsource ? "/PULSE/PWL" : "") + ")");
+      }
+    }
+  }
+
+  void parse_mosfet(const std::vector<Tok>& card) {
+    DeckDevice& d = new_device(card.front(), DeckDevice::Kind::kMosfet);
+    d.nodes = {need(card, 1, "the drain node").text,
+               need(card, 2, "the gate node").text,
+               need(card, 3, "the source node").text,
+               need(card, 4, "the bulk node").text};
+    d.model = need(card, 5, "a model name").text;
+    for (const auto& [key, vi] : key_values(card, 6)) {
+      if (key == "W") {
+        d.w = parse_value(card[vi]);
+      } else if (key == "L") {
+        d.l = parse_value(card[vi]);
+      } else {
+        fail(card[vi - 2], "unknown MOSFET parameter '" + key +
+                               "' (expected W= or L=)");
+      }
+    }
+    if (d.w.empty() || d.l.empty()) {
+      fail(card.front(), "MOSFET '" + d.name + "' needs explicit W= and L=");
+    }
+  }
+
+  void parse_model(const std::vector<Tok>& card) {
+    const Tok& name = need(card, 1, "a model name");
+    DeckModel model;
+    model.name = name.text;
+    model.line = name.line;
+    const std::string type = upper(need(card, 2, "NMOS or PMOS").text);
+    if (type == "PMOS") {
+      model.is_pmos = true;
+    } else if (type != "NMOS") {
+      fail(card[2], "model type must be NMOS or PMOS, got '" + card[2].text +
+                        "'");
+    }
+    static const char* const kKnown[] = {
+        "LEVEL", "VTO", "GAMMA", "PHI",   "LAMBDA", "LREF", "TOX", "UO",
+        "U0",    "LD",  "WD",    "NSUB",  "LDIFF",  "CGSO", "CGDO", "CJ",
+        "CJSW"};
+    std::size_t i = 3;
+    const bool parens = i < card.size() && card[i].text == "(";
+    if (parens) ++i;
+    while (i < card.size() && card[i].text != ")") {
+      const std::string key = upper(card[i].text);
+      if (i + 1 >= card.size() || card[i + 1].text != "=") {
+        fail(card[i], "expected " + key + "=<value> in .model card");
+      }
+      bool known = false;
+      for (const char* k : kKnown) known = known || key == k;
+      if (!known) {
+        fail(card[i], "unknown .model parameter '" + key + "'");
+      }
+      const Tok& value = need(card, i + 2, "a value after '" + key + "='");
+      if (!model.values.emplace(key, parse_value(value)).second) {
+        fail(card[i], "duplicate .model parameter '" + key + "'");
+      }
+      i += 3;
+    }
+    if (parens && (i >= card.size() || card[i].text != ")")) {
+      fail(name, "missing ')' in .model card");
+    }
+    if (!deck_.models.emplace(model.name, std::move(model)).second) {
+      fail(name, "duplicate .model '" + name.text + "'");
+    }
+  }
+
+  void parse_param(const std::vector<Tok>& card) {
+    const Tok& name = need(card, 1, "a parameter name");
+    if (!std::isalpha(static_cast<unsigned char>(name.text[0])) &&
+        name.text[0] != '_') {
+      fail(name, "parameter name must start with a letter");
+    }
+    for (const DeckParam& p : deck_.params) {
+      if (p.name == name.text) {
+        fail(name, "duplicate .param '" + name.text + "'");
+      }
+    }
+    if (need(card, 2, "'='").text != "=") {
+      fail(card[2], ".param syntax is .param NAME=<value> [LO=a HI=b]");
+    }
+    DeckParam param;
+    param.name = name.text;
+    param.line = name.line;
+    param.value = parse_value(need(card, 3, "a value"));
+    bool have_lo = false, have_hi = false;
+    for (const auto& [key, vi] : key_values(card, 4)) {
+      if (key == "LO") {
+        param.lo = parse_value(card[vi]).eval(current_param_values());
+        have_lo = true;
+      } else if (key == "HI") {
+        param.hi = parse_value(card[vi]).eval(current_param_values());
+        have_hi = true;
+      } else {
+        fail(card[vi - 2], "unknown .param option '" + key + "'");
+      }
+    }
+    if (have_lo != have_hi) {
+      fail(name, "design parameters need both LO= and HI=");
+    }
+    param.is_design = have_lo;
+    if (param.is_design && !(param.lo < param.hi)) {
+      fail(name, "design parameter bounds must satisfy LO < HI");
+    }
+    deck_.params.push_back(std::move(param));
+  }
+
+  /// Parameter values visible so far (for bound expressions evaluated at
+  /// parse time).
+  std::vector<double> current_param_values() const {
+    std::vector<double> values;
+    values.reserve(deck_.params.size());
+    for (const DeckParam& p : deck_.params) {
+      values.push_back(p.value.eval(values));
+    }
+    return values;
+  }
+
+  void parse_variation(const std::vector<Tok>& card) {
+    const Tok& kind = need(card, 1, "tech/global/mismatch");
+    const std::string what = lower(kind.text);
+    if (deck_.variation.line == 0) deck_.variation.line = kind.line;
+    if (what == "tech") {
+      const Tok& name = need(card, 2, "a technology name");
+      if (!deck_.variation.tech.empty()) {
+        fail(name, "duplicate '.variation tech' card");
+      }
+      deck_.variation.tech = name.text;
+      if (card.size() > 3) fail(card[3], "trailing garbage on .variation");
+    } else if (what == "global") {
+      DeckGlobalVariation v;
+      v.name = need(card, 2, "a variable name").text;
+      v.effect = lower(need(card, 3, "an effect keyword").text);
+      v.sigma = parse_value(need(card, 4, "a sigma"));
+      v.devices = "both";
+      v.line = kind.line;
+      if (card.size() > 5) {
+        v.devices = lower(card[5].text);
+        if (v.devices != "nmos" && v.devices != "pmos" &&
+            v.devices != "both") {
+          fail(card[5], "device class must be nmos, pmos or both");
+        }
+        if (card.size() > 6) fail(card[6], "trailing garbage on .variation");
+      }
+      deck_.variation.globals.push_back(std::move(v));
+    } else if (what == "mismatch") {
+      DeckMismatch m;
+      m.devices = lower(need(card, 2, "nmos/pmos/both").text);
+      if (m.devices != "nmos" && m.devices != "pmos" && m.devices != "both") {
+        fail(card[2], "device class must be nmos, pmos or both");
+      }
+      m.line = kind.line;
+      for (const auto& [key, vi] : key_values(card, 3)) {
+        if (key == "AVTH") {
+          m.a_vth = parse_value(card[vi]);
+        } else if (key == "ATOX") {
+          m.a_tox = parse_value(card[vi]);
+        } else if (key == "ALD") {
+          m.a_ld = parse_value(card[vi]);
+        } else if (key == "AWD") {
+          m.a_wd = parse_value(card[vi]);
+        } else {
+          fail(card[vi - 2], "unknown mismatch coefficient '" + key +
+                                 "' (expected AVTH/ATOX/ALD/AWD)");
+        }
+      }
+      deck_.variation.mismatch.push_back(std::move(m));
+    } else {
+      fail(kind, "unknown .variation kind '" + kind.text +
+                     "' (expected tech, global or mismatch)");
+    }
+  }
+
+  void parse_spec(const std::vector<Tok>& card) {
+    DeckSpec spec;
+    spec.metric = lower(need(card, 1, "a metric name").text);
+    const Tok& op = need(card, 2, "'>=' or '<='");
+    if (op.text == ">=") {
+      spec.lower = true;
+    } else if (op.text == "<=") {
+      spec.lower = false;
+    } else {
+      fail(op, ".spec direction must be '>=' or '<=', got '" + op.text + "'");
+    }
+    spec.bound = parse_value(need(card, 3, "a bound"));
+    spec.line = card.front().line;
+    for (const auto& [key, vi] : key_values(card, 4)) {
+      if (key == "SCALE") {
+        spec.scale = parse_value(card[vi]);
+      } else if (key == "LABEL") {
+        spec.label = card[vi].text;
+      } else {
+        fail(card[vi - 2], "unknown .spec option '" + key + "'");
+      }
+    }
+    if (spec.label.empty()) {
+      spec.label = spec.metric + (spec.lower ? ">=" : "<=") + card[3].text;
+    }
+    deck_.specs.push_back(std::move(spec));
+  }
+
+  void parse_probe(const std::vector<Tok>& card) {
+    const Tok& kind = need(card, 1, "out/supply/swing/step");
+    const std::string what = lower(kind.text);
+    if (deck_.probes.line == 0) deck_.probes.line = kind.line;
+    if (what == "out") {
+      if (!deck_.probes.outp.empty()) {
+        fail(kind, "duplicate '.probe out' card");
+      }
+      deck_.probes.outp = need(card, 2, "the + output node").text;
+      if (card.size() > 3) deck_.probes.outn = card[3].text;
+      if (card.size() > 4) fail(card[4], "trailing garbage on .probe out");
+    } else if (what == "supply") {
+      if (!deck_.probes.supply.empty()) {
+        fail(kind, "duplicate '.probe supply' card");
+      }
+      deck_.probes.supply = need(card, 2, "a vsource name").text;
+      if (card.size() > 3) fail(card[3], "trailing garbage on .probe supply");
+    } else if (what == "swing") {
+      std::vector<std::string>* target = nullptr;
+      for (std::size_t i = 2; i < card.size(); ++i) {
+        const std::string t = lower(card[i].text);
+        if (t == "top") {
+          target = &deck_.probes.swing_top;
+        } else if (t == "bottom") {
+          target = &deck_.probes.swing_bottom;
+        } else if (target) {
+          target->push_back(card[i].text);
+        } else {
+          fail(card[i], ".probe swing syntax: .probe swing top M.. bottom "
+                        "M..");
+        }
+      }
+    } else if (what == "step") {
+      if (!deck_.probes.step_source.empty()) {
+        fail(kind, "duplicate '.probe step' card");
+      }
+      deck_.probes.step_source = need(card, 2, "a pulse vsource name").text;
+      for (const auto& [key, vi] : key_values(card, 3)) {
+        if (key == "TSTOP") {
+          deck_.probes.step_tstop = parse_value(card[vi]);
+        } else if (key == "SETTLE") {
+          deck_.probes.step_settle = parse_value(card[vi]);
+        } else {
+          fail(card[vi - 2], "unknown .probe step option '" + key + "'");
+        }
+      }
+      if (deck_.probes.step_tstop.empty()) {
+        fail(kind, ".probe step needs TSTOP=<horizon>");
+      }
+    } else {
+      fail(kind, "unknown .probe kind '" + kind.text +
+                     "' (expected out, supply, swing or step)");
+    }
+  }
+
+  void parse_dot_card(const std::vector<Tok>& card) {
+    const std::string name = lower(card.front().text);
+    if (name == ".end") {
+      saw_end_ = true;
+    } else if (name == ".nodes") {
+      for (std::size_t i = 1; i < card.size(); ++i) {
+        deck_.node_order.push_back(card[i].text);
+      }
+    } else if (name == ".model") {
+      parse_model(card);
+    } else if (name == ".param") {
+      parse_param(card);
+    } else if (name == ".variation") {
+      parse_variation(card);
+    } else if (name == ".spec" || name == ".measure") {
+      parse_spec(card);
+    } else if (name == ".probe") {
+      parse_probe(card);
+    } else {
+      fail(card.front(), "unsupported card '" + card.front().text + "'");
+    }
+  }
+
+  void finish() {
+    // Bind MOSFET model references early so the diagnostic carries the
+    // device's line instead of surfacing at first instantiation.
+    for (const DeckDevice& d : deck_.devices) {
+      if (d.kind == DeckDevice::Kind::kMosfet &&
+          deck_.models.find(d.model) == deck_.models.end()) {
+        fail(d.line, "MOSFET '" + d.name + "' references undefined model '" +
+                         d.model + "'");
+      }
+    }
+    if (deck_.devices.empty()) fail(line_no_ > 0 ? line_no_ : 1,
+                                    "deck contains no devices");
+  }
+
+  std::istream& in_;
+  Deck deck_;
+  int line_no_ = 0;
+  int card_line_ = 1;
+  RawLine pending_;
+  bool have_pending_ = false;
+  bool saw_end_ = false;
+  std::unordered_set<std::string> device_names_;
+};
+
+}  // namespace
+
+Deck DeckParser::parse(std::istream& in, const std::string& source) const {
+  return ParserState(in, source).run();
+}
+
+Deck DeckParser::parse_string(const std::string& text,
+                              const std::string& source) const {
+  std::istringstream iss(text);
+  return parse(iss, source);
+}
+
+Deck DeckParser::parse_file(const std::string& path) const {
+  std::ifstream in(path);
+  if (!in) throw DeckError(path, 0, 0, "cannot open deck file");
+  return parse(in, path);
+}
+
+Deck parse_deck(std::istream& in, const std::string& source) {
+  return DeckParser().parse(in, source);
+}
+
+Deck parse_deck_string(const std::string& text, const std::string& source) {
+  return DeckParser().parse_string(text, source);
+}
+
+Deck parse_deck_file(const std::string& path) {
+  return DeckParser().parse_file(path);
+}
+
+}  // namespace moheco::spice

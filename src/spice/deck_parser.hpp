@@ -1,0 +1,224 @@
+// SPICE deck frontend: parses the dialect write_spice_deck emits (plus the
+// MOHECO extension cards) into a parameterized netlist template.
+//
+// The deck is the system's public workload interface: every card the
+// exporter writes parses back to an identical Netlist (see the round-trip
+// tests), and the extension cards turn a plain netlist into a complete
+// yield-optimization problem:
+//
+//   .nodes n1 n2 ...            pin the node-id order (emitted by the
+//                               exporter so a re-parsed deck reproduces the
+//                               original MNA layout bit-for-bit)
+//   .param NAME=<expr>          named constant, usable in {expressions}
+//   .param NAME=<expr> LO=a HI=b   design variable with bounds; the
+//                               declaration order defines the design-vector
+//                               layout, <expr> its nominal value
+//   .variation tech <name>      adopt a built-in technology's statistical
+//                               model (tech035 / tech90)
+//   .variation global NAME EFFECT <sigma> [nmos|pmos|both]
+//                               one inter-die variable (one noise dimension)
+//   .variation mismatch <nmos|pmos|both> AVTH=.. ATOX=.. ALD=.. AWD=..
+//                               Pelgrom intra-die mismatch law
+//   .spec METRIC <=|>= BOUND [SCALE=s] [LABEL=text]   (alias: .measure)
+//                               measurement constraint for the yield
+//                               criterion
+//   .probe out P [N]            differential output nodes (N defaults to 0)
+//   .probe supply VSOURCE       supply source for the power measurement
+//   .probe swing top M.. bottom M..   devices bounding the output swing
+//   .probe step VSOURCE TSTOP=t [SETTLE=f]   step-response metadata for the
+//                               transient (slew / settling) measurement
+//
+// Any value position accepts a number with SPICE magnitude suffixes
+// (f p n u m k meg g t) or a brace expression {a*b + c} over .param names.
+// The semantic interpretation of .spec/.variation/.probe (metrics, process
+// model, testbench hooks) lives one layer up in
+// src/circuits/netlist_problem.hpp; this header is pure syntax + netlist
+// construction, so the spice layer stays independent of circuits.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/spice/netlist.hpp"
+
+namespace moheco::spice {
+
+/// Deck syntax or consistency error, with 1-based line/column into the
+/// source text; what() is "<source>:<line>:<col>: <message>".
+class DeckError : public Error {
+ public:
+  DeckError(const std::string& source, int line, int column,
+            const std::string& message);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// Arithmetic expression over deck parameters, compiled to RPN at parse
+/// time.  eval() takes the full parameter value vector (fixed parameters
+/// and design variables alike, in declaration order).
+class DeckExpr {
+ public:
+  enum class OpKind { kConst, kParam, kAdd, kSub, kMul, kDiv, kNeg };
+  struct Op {
+    OpKind kind = OpKind::kConst;
+    double value = 0.0;  ///< kConst payload
+    int param = 0;       ///< kParam payload: index into the param table
+  };
+
+  DeckExpr() = default;
+  static DeckExpr constant(double v);
+
+  bool empty() const { return ops.empty(); }
+  /// True when the expression references no parameter.
+  bool is_constant() const;
+  double eval(std::span<const double> params) const;
+  /// eval() convenience for expressions known to be constant.
+  double eval() const { return eval({}); }
+
+  std::vector<Op> ops;  ///< RPN program (public for the parser/tests)
+};
+
+struct DeckParam {
+  std::string name;
+  DeckExpr value;  ///< nominal value (may reference earlier params)
+  bool is_design = false;
+  double lo = 0.0, hi = 0.0;  ///< bounds, design variables only
+  int line = 0;
+};
+
+struct DeckModel {
+  std::string name;
+  bool is_pmos = false;
+  /// Uppercased card token -> value expression (VTO, GAMMA, ..., LREF).
+  std::map<std::string, DeckExpr> values;
+  int line = 0;
+};
+
+struct DeckDevice {
+  enum class Kind {
+    kResistor,
+    kCapacitor,
+    kInductor,
+    kVSource,
+    kISource,
+    kVcvs,
+    kVccs,
+    kMosfet,
+  };
+  Kind kind = Kind::kResistor;
+  std::string name;
+  int line = 0;
+  std::vector<std::string> nodes;  ///< 2 (R/C/L/V/I) or 4 (E/G/M) names
+  DeckExpr value;                  ///< R/C/L value, E gain, G gm
+  DeckExpr dc, ac;                 ///< V/I sources
+  SourceWaveform::Kind wave = SourceWaveform::Kind::kDc;
+  /// PULSE: exactly 7 entries (v1 v2 td tr tf pw period);
+  /// PWL: 2k entries of (t, v) corners.
+  std::vector<DeckExpr> wave_params;
+  std::string model;  ///< M: model card name
+  DeckExpr w, l;      ///< M: drawn dimensions
+};
+
+struct DeckGlobalVariation {
+  std::string name;    ///< variable name (diagnostics)
+  std::string effect;  ///< effect keyword, lowercase (vth0, tox_rel, ...)
+  DeckExpr sigma;
+  std::string devices;  ///< "nmos" | "pmos" | "both"
+  int line = 0;
+};
+
+struct DeckMismatch {
+  std::string devices;  ///< "nmos" | "pmos" | "both"
+  DeckExpr a_vth, a_tox, a_ld, a_wd;
+  int line = 0;
+};
+
+struct DeckVariation {
+  std::string tech;  ///< built-in technology name; empty = fully custom
+  std::vector<DeckGlobalVariation> globals;
+  std::vector<DeckMismatch> mismatch;
+  int line = 0;
+};
+
+struct DeckSpec {
+  std::string metric;  ///< metric keyword, lowercase (a0_db, gbw, ...)
+  bool lower = true;   ///< true: value >= bound
+  DeckExpr bound;
+  DeckExpr scale;  ///< empty: defaults to max(|bound|, 1)
+  std::string label;
+  int line = 0;
+};
+
+struct DeckProbes {
+  std::string outp, outn;  ///< output node names; outn empty = ground
+  std::string supply;      ///< supply vsource name (power measurement)
+  std::vector<std::string> swing_top, swing_bottom;  ///< MOSFET names
+  std::string step_source;  ///< pulse vsource of the step bench; empty=none
+  DeckExpr step_tstop;
+  DeckExpr step_settle;  ///< empty: defaults to 0.01
+  int line = 0;
+};
+
+/// A parsed deck: a netlist template plus the extension cards.  Device and
+/// node order reproduce the deck exactly, so instantiating a deck written
+/// by write_spice_deck rebuilds the original Netlist bit-for-bit.
+class Deck {
+ public:
+  std::string source;  ///< source name for diagnostics
+  std::string title;
+  std::vector<std::string> node_order;  ///< .nodes card; may be empty
+  std::vector<DeckParam> params;        ///< declaration order
+  std::vector<DeckDevice> devices;      ///< deck order
+  std::map<std::string, DeckModel> models;
+  DeckVariation variation;
+  std::vector<DeckSpec> specs;
+  DeckProbes probes;
+
+  /// Indices into params of the design variables, declaration order: the
+  /// design-vector layout of the yield problem built on this deck.
+  std::vector<std::size_t> design_params() const;
+  /// Nominal design vector (each design param's value expression).
+  std::vector<double> nominal_design() const;
+  /// Full parameter value vector with design entries overridden by
+  /// `design` (empty = nominal).  Evaluated in declaration order, so later
+  /// params may reference earlier ones (including design variables).
+  std::vector<double> param_values(std::span<const double> design) const;
+
+  /// Builds the netlist at `design` (empty = nominal values).  Node ids
+  /// follow the .nodes card (then first use), devices the deck order.
+  /// Throws DeckError on unresolved model references and NetlistError on
+  /// structural violations (netlist.validate()).
+  Netlist instantiate(std::span<const double> design = {}) const;
+
+  /// Index into params by name; npos when absent.
+  std::size_t param_index(const std::string& name) const;
+};
+
+/// Parser for the deck dialect.  Stateless apart from diagnostics context;
+/// one instance may parse many decks.
+class DeckParser {
+ public:
+  /// Parses a deck from `in`.  `source` names the input in diagnostics.
+  Deck parse(std::istream& in, const std::string& source = "<deck>") const;
+  Deck parse_string(const std::string& text,
+                    const std::string& source = "<string>") const;
+  /// Opens and parses `path`; throws DeckError when unreadable.
+  Deck parse_file(const std::string& path) const;
+};
+
+/// One-shot conveniences.
+Deck parse_deck(std::istream& in, const std::string& source = "<deck>");
+Deck parse_deck_string(const std::string& text,
+                       const std::string& source = "<string>");
+Deck parse_deck_file(const std::string& path);
+
+}  // namespace moheco::spice

@@ -1,16 +1,19 @@
 #include "src/spice/netlist_format.hpp"
 
+#include <charconv>
 #include <ostream>
 #include <sstream>
 
 namespace moheco::spice {
 namespace {
 
+// Shortest decimal representation that parses back to the same double
+// (std::to_chars default format), so a deck re-read by spice::DeckParser
+// reconstructs every value bit-for-bit.
 void write_value(std::ostream& os, double value) {
-  std::ostringstream tmp;
-  tmp.precision(9);
-  tmp << value;
-  os << tmp.str();
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  os.write(buf, result.ptr - buf);
 }
 
 }  // namespace
@@ -21,6 +24,17 @@ void write_spice_deck(std::ostream& os, const Netlist& netlist,
   auto node = [&](NodeId n) -> const std::string& {
     return netlist.node_name(n);
   };
+  // Pin the node-id order: a parser interning nodes on first use in card
+  // order could not otherwise reproduce the original MNA row layout, and a
+  // permuted layout perturbs solver rounding (tallies would drift off the
+  // C++-built twin of this netlist).
+  if (netlist.num_nodes() > 0) {
+    os << ".nodes";
+    for (NodeId id = 1; id <= netlist.num_nodes(); ++id) {
+      os << ' ' << node(id);
+    }
+    os << '\n';
+  }
   for (const auto& r : netlist.resistors()) {
     os << r.name << ' ' << node(r.n1) << ' ' << node(r.n2) << ' ';
     write_value(os, r.resistance);
@@ -110,16 +124,30 @@ void write_spice_deck(std::ostream& os, const Netlist& netlist,
     write_value(os, m.model.gamma);
     os << " PHI=";
     write_value(os, m.model.phi);
+    // LAMBDA is the raw coefficient of the length-scaling law anchored at
+    // LREF (a MOHECO extension token); a parser ignoring LREF reads LAMBDA
+    // as the plain Level-1 constant, exact at l_eff == LREF.
     os << " LAMBDA=";
-    write_value(os, m.model.lambda_at(m.l_eff()));
+    write_value(os, m.model.lambda);
+    os << " LREF=";
+    write_value(os, m.model.lambda_lref);
     os << " TOX=";
     write_value(os, m.model.tox);
     os << " UO=";
     write_value(os, m.model.u0 * 1e4);  // SPICE expects cm^2/Vs
+    // MOHECO extension: the mobility in raw SI units as well.  The UO unit
+    // conversion double-rounds for ~1 in 7 doubles, so a parser honoring
+    // U0 reproduces the model bit-for-bit where UO alone cannot.
+    os << " U0=";
+    write_value(os, m.model.u0);
     os << " LD=";
     write_value(os, m.model.ld);
     os << " WD=";
     write_value(os, m.model.wd);
+    os << " NSUB=";
+    write_value(os, m.model.n_sub);
+    os << " LDIFF=";
+    write_value(os, m.model.ldiff);
     os << " CGSO=";
     write_value(os, m.model.cgso);
     os << " CGDO=";

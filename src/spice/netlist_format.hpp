@@ -1,6 +1,11 @@
-// SPICE-deck-style netlist export, for debugging sized circuits and for
+// SPICE-deck-style netlist export, for debugging sized circuits, for
 // cross-checking against an external simulator (the generated deck uses
-// generic elements plus .model cards for the Level-1 parameters).
+// generic elements plus .model cards for the Level-1 parameters), and as
+// the system's interchange format: spice::DeckParser reads everything this
+// writer emits back into an identical Netlist.  Values are printed in the
+// shortest form that round-trips the double exactly, a .nodes card pins the
+// node-id order, and the .model cards carry the MOHECO extension tokens
+// (LREF, NSUB, LDIFF) the compact model needs beyond standard Level 1.
 #pragma once
 
 #include <iosfwd>

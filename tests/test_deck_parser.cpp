@@ -1,0 +1,391 @@
+// DeckParser coverage: exact write_spice_deck round-trips for the built-in
+// topologies and the generated RC benchmark netlists, dialect features
+// (suffixes, expressions, continuations, .param), and a malformed-deck
+// table asserting line-numbered diagnostics.
+#include "src/spice/deck_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/circuits/topology.hpp"
+#include "src/spice/netlist_format.hpp"
+#include "src/spice/netlist_gen.hpp"
+
+namespace moheco::spice {
+namespace {
+
+#define EXPECT_FIELD_EQ(a, b, field) EXPECT_EQ((a).field, (b).field)
+
+void expect_models_identical(const MosModel& a, const MosModel& b,
+                             const std::string& who) {
+  SCOPED_TRACE(who);
+  EXPECT_FIELD_EQ(a, b, vth0);
+  EXPECT_FIELD_EQ(a, b, gamma);
+  EXPECT_FIELD_EQ(a, b, phi);
+  EXPECT_FIELD_EQ(a, b, lambda);
+  EXPECT_FIELD_EQ(a, b, lambda_lref);
+  EXPECT_FIELD_EQ(a, b, u0);
+  EXPECT_FIELD_EQ(a, b, tox);
+  EXPECT_FIELD_EQ(a, b, ld);
+  EXPECT_FIELD_EQ(a, b, wd);
+  EXPECT_FIELD_EQ(a, b, n_sub);
+  EXPECT_FIELD_EQ(a, b, cgso);
+  EXPECT_FIELD_EQ(a, b, cgdo);
+  EXPECT_FIELD_EQ(a, b, cj);
+  EXPECT_FIELD_EQ(a, b, cjsw);
+  EXPECT_FIELD_EQ(a, b, ldiff);
+}
+
+/// Field-exact netlist comparison: node table, every device vector, every
+/// value, every model card.  "Identical" here means the MNA layout and all
+/// stamped values match bit-for-bit, so both netlists simulate identically.
+void expect_netlists_identical(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId id = 0; id <= a.num_nodes(); ++id) {
+    EXPECT_EQ(a.node_name(id), b.node_name(id)) << "node " << id;
+  }
+  ASSERT_EQ(a.resistors().size(), b.resistors().size());
+  for (std::size_t i = 0; i < a.resistors().size(); ++i) {
+    const auto &ra = a.resistors()[i], &rb = b.resistors()[i];
+    EXPECT_FIELD_EQ(ra, rb, name);
+    EXPECT_FIELD_EQ(ra, rb, n1);
+    EXPECT_FIELD_EQ(ra, rb, n2);
+    EXPECT_FIELD_EQ(ra, rb, resistance);
+  }
+  ASSERT_EQ(a.capacitors().size(), b.capacitors().size());
+  for (std::size_t i = 0; i < a.capacitors().size(); ++i) {
+    const auto &ca = a.capacitors()[i], &cb = b.capacitors()[i];
+    EXPECT_FIELD_EQ(ca, cb, name);
+    EXPECT_FIELD_EQ(ca, cb, n1);
+    EXPECT_FIELD_EQ(ca, cb, n2);
+    EXPECT_FIELD_EQ(ca, cb, capacitance);
+  }
+  ASSERT_EQ(a.inductors().size(), b.inductors().size());
+  for (std::size_t i = 0; i < a.inductors().size(); ++i) {
+    const auto &la = a.inductors()[i], &lb = b.inductors()[i];
+    EXPECT_FIELD_EQ(la, lb, name);
+    EXPECT_FIELD_EQ(la, lb, n1);
+    EXPECT_FIELD_EQ(la, lb, n2);
+    EXPECT_FIELD_EQ(la, lb, inductance);
+  }
+  ASSERT_EQ(a.vsources().size(), b.vsources().size());
+  for (std::size_t i = 0; i < a.vsources().size(); ++i) {
+    const auto &va = a.vsources()[i], &vb = b.vsources()[i];
+    SCOPED_TRACE(va.name);
+    EXPECT_FIELD_EQ(va, vb, name);
+    EXPECT_FIELD_EQ(va, vb, np);
+    EXPECT_FIELD_EQ(va, vb, nn);
+    EXPECT_FIELD_EQ(va, vb, dc);
+    EXPECT_FIELD_EQ(va, vb, ac_mag);
+    EXPECT_EQ(va.wave.kind, vb.wave.kind);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, v1);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, v2);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, td);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, tr);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, tf);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, pw);
+    EXPECT_FIELD_EQ(va.wave, vb.wave, period);
+    EXPECT_EQ(va.wave.pwl, vb.wave.pwl);
+  }
+  ASSERT_EQ(a.isources().size(), b.isources().size());
+  for (std::size_t i = 0; i < a.isources().size(); ++i) {
+    const auto &ia = a.isources()[i], &ib = b.isources()[i];
+    EXPECT_FIELD_EQ(ia, ib, name);
+    EXPECT_FIELD_EQ(ia, ib, np);
+    EXPECT_FIELD_EQ(ia, ib, nn);
+    EXPECT_FIELD_EQ(ia, ib, dc);
+    EXPECT_FIELD_EQ(ia, ib, ac_mag);
+  }
+  ASSERT_EQ(a.vcvs().size(), b.vcvs().size());
+  for (std::size_t i = 0; i < a.vcvs().size(); ++i) {
+    const auto &ea = a.vcvs()[i], &eb = b.vcvs()[i];
+    EXPECT_FIELD_EQ(ea, eb, name);
+    EXPECT_FIELD_EQ(ea, eb, np);
+    EXPECT_FIELD_EQ(ea, eb, nn);
+    EXPECT_FIELD_EQ(ea, eb, cp);
+    EXPECT_FIELD_EQ(ea, eb, cn);
+    EXPECT_FIELD_EQ(ea, eb, gain);
+  }
+  ASSERT_EQ(a.vccs().size(), b.vccs().size());
+  for (std::size_t i = 0; i < a.vccs().size(); ++i) {
+    const auto &ga = a.vccs()[i], &gb = b.vccs()[i];
+    EXPECT_FIELD_EQ(ga, gb, name);
+    EXPECT_FIELD_EQ(ga, gb, np);
+    EXPECT_FIELD_EQ(ga, gb, nn);
+    EXPECT_FIELD_EQ(ga, gb, cp);
+    EXPECT_FIELD_EQ(ga, gb, cn);
+    EXPECT_FIELD_EQ(ga, gb, gm);
+  }
+  ASSERT_EQ(a.mosfets().size(), b.mosfets().size());
+  for (std::size_t i = 0; i < a.mosfets().size(); ++i) {
+    const auto &ma = a.mosfets()[i], &mb = b.mosfets()[i];
+    EXPECT_FIELD_EQ(ma, mb, name);
+    EXPECT_FIELD_EQ(ma, mb, d);
+    EXPECT_FIELD_EQ(ma, mb, g);
+    EXPECT_FIELD_EQ(ma, mb, s);
+    EXPECT_FIELD_EQ(ma, mb, b);
+    EXPECT_FIELD_EQ(ma, mb, is_pmos);
+    EXPECT_FIELD_EQ(ma, mb, w);
+    EXPECT_FIELD_EQ(ma, mb, l);
+    expect_models_identical(ma.model, mb.model, ma.name);
+  }
+}
+
+void expect_roundtrip(const Netlist& original, const std::string& title) {
+  SCOPED_TRACE(title);
+  const std::string deck_text = to_spice_deck(original, title);
+  const Deck deck = parse_deck_string(deck_text, title);
+  EXPECT_EQ(deck.title, title);
+  expect_netlists_identical(original, deck.instantiate());
+}
+
+std::vector<double> mid_bounds(const circuits::Topology& topology) {
+  std::vector<double> x;
+  for (const auto& var : topology.design_vars()) {
+    x.push_back(0.5 * (var.lo + var.hi));
+  }
+  return x;
+}
+
+TEST(DeckRoundTrip, BuiltinTopologiesAcBench) {
+  for (const auto& make :
+       {circuits::make_five_transistor_ota, circuits::make_folded_cascode,
+        circuits::make_two_stage_telescopic}) {
+    const auto topology = make();
+    const auto built = topology->build(mid_bounds(*topology));
+    expect_roundtrip(built.netlist, topology->name());
+  }
+}
+
+TEST(DeckRoundTrip, BuiltinTopologiesStepBench) {
+  // The step bench adds PULSE sources; the exporter's waveform syntax must
+  // round-trip too.
+  for (const auto& make :
+       {circuits::make_five_transistor_ota, circuits::make_folded_cascode}) {
+    const auto topology = make();
+    const auto built = topology->build(mid_bounds(*topology),
+                                       circuits::Testbench::kStepBuffer);
+    expect_roundtrip(built.netlist, topology->name() + "_step");
+  }
+}
+
+TEST(DeckRoundTrip, GeneratedRcNetworks) {
+  LadderSpec ladder;
+  ladder.sections = 40;
+  expect_roundtrip(make_rc_ladder(ladder), "rc_ladder_40");
+  GridSpec grid;
+  grid.rows = 8;
+  grid.cols = 11;
+  expect_roundtrip(make_rc_grid(grid), "rc_grid_8x11");
+}
+
+TEST(DeckParser, U0TokenBeatsUoUnitConversion) {
+  // UO (cm^2/Vs) double-rounds for some mobilities; the U0 extension token
+  // carries the raw SI value and wins regardless of token order.
+  const Deck deck = parse_deck_string(
+      "* u0\n"
+      "M1 d g 0 0 nm W=1e-05 L=1e-06\n"
+      "R1 d 0 1k\n"
+      "Vg g 0 DC 1\n"
+      ".model nm NMOS (UO=423.48668215353354 U0=0.042348668215353357)\n");
+  EXPECT_EQ(deck.instantiate().mosfets()[0].model.u0, 0.042348668215353357);
+}
+
+TEST(DeckParser, MagnitudeSuffixes) {
+  const Deck deck = parse_deck_string(
+      "* suffixes\n"
+      "R1 a 0 2.2k\n"
+      "R2 a 0 10meg\n"
+      "C1 a 0 3.3pF\n"
+      "C2 a 0 1u\n"
+      "L1 a b 10n\n"
+      "R3 b 0 1.5G\n"
+      "I1 0 a DC 2m\n");
+  const Netlist n = deck.instantiate();
+  EXPECT_DOUBLE_EQ(n.resistors()[0].resistance, 2200.0);
+  EXPECT_DOUBLE_EQ(n.resistors()[1].resistance, 10e6);
+  EXPECT_DOUBLE_EQ(n.capacitors()[0].capacitance, 3.3e-12);
+  EXPECT_DOUBLE_EQ(n.capacitors()[1].capacitance, 1e-6);
+  EXPECT_DOUBLE_EQ(n.inductors()[0].inductance, 10e-9);
+  EXPECT_DOUBLE_EQ(n.resistors()[2].resistance, 1.5e9);
+  EXPECT_DOUBLE_EQ(n.isources()[0].dc, 2e-3);
+}
+
+TEST(DeckParser, ParamsAndExpressions) {
+  const Deck deck = parse_deck_string(
+      "* params\n"
+      ".param rbase=1k\n"
+      ".param w=2e-05 lo=1e-06 hi=1e-04\n"
+      ".param half_w={w/2}\n"
+      "R1 in out {rbase*2 + 500}\n"
+      "R2 out 0 {rbase}\n"
+      "M1 out in 0 0 nm W={half_w} L={1u}\n"
+      "Vin in 0 DC {-(1.5)}\n"
+      ".model nm NMOS (VTO=0.5)\n");
+  ASSERT_EQ(deck.design_params().size(), 1u);
+  EXPECT_EQ(deck.params[deck.design_params()[0]].name, "w");
+  const std::vector<double> nominal = deck.nominal_design();
+  ASSERT_EQ(nominal.size(), 1u);
+  EXPECT_DOUBLE_EQ(nominal[0], 2e-5);
+
+  const Netlist at_nominal = deck.instantiate();
+  EXPECT_DOUBLE_EQ(at_nominal.resistors()[0].resistance, 2500.0);
+  EXPECT_DOUBLE_EQ(at_nominal.mosfets()[0].w, 1e-5);
+  EXPECT_DOUBLE_EQ(at_nominal.vsources()[0].dc, -1.5);
+
+  // Design override flows through derived parameters.
+  const double x[] = {4e-5};
+  const Netlist at_x = deck.instantiate(x);
+  EXPECT_DOUBLE_EQ(at_x.mosfets()[0].w, 2e-5);
+}
+
+TEST(DeckParser, ContinuationAndComments) {
+  const Deck deck = parse_deck_string(
+      "* title line\n"
+      "* a comment\n"
+      "\n"
+      "R1 a 0\n"
+      "+ 1k  ; inline comment\n"
+      "* interleaved comment\n"
+      "C1 a 0 1p\n");
+  EXPECT_EQ(deck.title, "title line");
+  const Netlist n = deck.instantiate();
+  EXPECT_DOUBLE_EQ(n.resistors()[0].resistance, 1000.0);
+  EXPECT_DOUBLE_EQ(n.capacitors()[0].capacitance, 1e-12);
+}
+
+TEST(DeckParser, ExtensionCards) {
+  const Deck deck = parse_deck_string(
+      "* cards\n"
+      ".nodes vdd out\n"
+      ".param w=1e-05 lo=1e-06 hi=1e-04\n"
+      "Vdd vdd 0 DC 1.2\n"
+      "M1 out vdd 0 0 nm W={w} L=1e-06\n"
+      "R1 out vdd 10k\n"
+      ".model nm NMOS (VTO=0.3)\n"
+      ".variation tech tech90\n"
+      ".variation global DVTN vth0 0.02 nmos\n"
+      ".variation mismatch nmos AVTH=1e-09\n"
+      ".spec gbw >= 10meg scale=1e6 label=\"GBW>=10MHz\"\n"
+      ".measure power <= 1m\n"
+      ".probe out out\n"
+      ".probe supply Vdd\n"
+      ".probe swing top M1 bottom M1\n");
+  EXPECT_EQ(deck.node_order,
+            (std::vector<std::string>{"vdd", "out"}));
+  EXPECT_EQ(deck.variation.tech, "tech90");
+  ASSERT_EQ(deck.variation.globals.size(), 1u);
+  EXPECT_EQ(deck.variation.globals[0].effect, "vth0");
+  EXPECT_EQ(deck.variation.globals[0].devices, "nmos");
+  ASSERT_EQ(deck.variation.mismatch.size(), 1u);
+  ASSERT_EQ(deck.specs.size(), 2u);
+  EXPECT_TRUE(deck.specs[0].lower);
+  EXPECT_DOUBLE_EQ(deck.specs[0].bound.eval(), 10e6);
+  EXPECT_EQ(deck.specs[0].label, "GBW>=10MHz");
+  EXPECT_FALSE(deck.specs[1].lower);
+  EXPECT_DOUBLE_EQ(deck.specs[1].bound.eval(), 1e-3);
+  EXPECT_EQ(deck.probes.outp, "out");
+  EXPECT_EQ(deck.probes.supply, "Vdd");
+  EXPECT_EQ(deck.probes.swing_top, (std::vector<std::string>{"M1"}));
+}
+
+TEST(DeckParser, SourceWaveforms) {
+  const Deck deck = parse_deck_string(
+      "* waves\n"
+      "Vp a 0 DC 0.5 PULSE(0.5 1.5 1e-08 1e-09 1e-09 5e-07 0)\n"
+      "Vw b 0 DC 1 PWL(0 1 1e-06 2.5)\n"
+      "V3 c 0 2.5\n"
+      "R1 a b 1k\n"
+      "R2 b c 1k\n");
+  const Netlist n = deck.instantiate();
+  const VSource& vp = n.vsources()[0];
+  EXPECT_EQ(vp.wave.kind, SourceWaveform::Kind::kPulse);
+  EXPECT_DOUBLE_EQ(vp.dc, 0.5);
+  EXPECT_DOUBLE_EQ(vp.wave.v2, 1.5);
+  EXPECT_DOUBLE_EQ(vp.wave.pw, 5e-7);
+  const VSource& vw = n.vsources()[1];
+  EXPECT_EQ(vw.wave.kind, SourceWaveform::Kind::kPwl);
+  ASSERT_EQ(vw.wave.pwl.size(), 2u);
+  EXPECT_DOUBLE_EQ(vw.wave.pwl[1].second, 2.5);
+  EXPECT_DOUBLE_EQ(n.vsources()[2].dc, 2.5);  // bare-value shorthand
+}
+
+struct MalformedCase {
+  const char* name;
+  const char* deck;
+  const char* message_fragment;
+  int line;
+};
+
+TEST(DeckParser, MalformedDeckDiagnostics) {
+  // Every malformed deck must fail with a DeckError carrying the offending
+  // line number and a recognizable message.
+  const MalformedCase cases[] = {
+      {"unknown device", "* t\nQ1 a b c\n", "unknown device type", 2},
+      {"missing node", "* t\nR1 a\n", "card ends early", 2},
+      {"bad number", "* t\nR1 a 0 12x4\n", "number", 2},
+      {"unterminated brace", "* t\nR1 a 0 {1+\n", "unterminated '{'", 2},
+      {"unknown param in expr", "* t\nR1 a 0 {nope}\n", "unknown parameter",
+       2},
+      {"dup device", "* t\nR1 a 0 1k\nR1 b 0 1k\n", "duplicate device", 3},
+      {"dup param", "* t\n.param a=1\n.param a=2\nR1 x 0 1\n",
+       "duplicate .param", 3},
+      {"design bounds", "* t\n.param w=1 lo=2 hi=1\nR1 a 0 1\n",
+       "LO < HI", 2},
+      {"lone lo", "* t\n.param w=1 lo=0\nR1 a 0 1\n", "both LO= and HI=", 2},
+      {"undefined model", "* t\nM1 d g s b nm W=1u L=1u\nR1 d 0 1\n",
+       "undefined model", 2},
+      {"bad model type", "* t\n.model nm JFET (VTO=1)\nR1 a 0 1\n",
+       "NMOS or PMOS", 2},
+      {"unknown model param", "* t\nM1 d g 0 0 nm W=1u L=1u\n"
+       ".model nm NMOS (XYZ=1)\n", "unknown .model parameter", 3},
+      {"pulse arity", "* t\nVp a 0 PULSE(1 2 3)\nR1 a 0 1\n",
+       "PULSE takes exactly 7", 2},
+      {"missing mosfet W", "* t\nM1 d g 0 0 nm L=1u\n.model nm NMOS (VTO=1)\n",
+       "explicit W= and L=", 2},
+      {"bad spec op", "* t\n.spec gbw > 10\nR1 a 0 1\n", "'>=' or '<='", 2},
+      {"unknown card", "* t\n.include foo.cir\nR1 a 0 1\n",
+       "unsupported card", 2},
+      {"bad variation", "* t\n.variation local x\nR1 a 0 1\n",
+       "unknown .variation kind", 2},
+      {"orphan continuation", "* t\n+ R1 a 0 1\n", "continuation line", 2},
+      {"empty deck", "* t\n.end\n", "no devices", 2},
+      {"dup probe out", "* t\n.probe out a\n.probe out b\nR1 a 0 1\n",
+       "duplicate '.probe out'", 3},
+      {"dup probe supply",
+       "* t\n.probe supply V1\n.probe supply V2\nR1 a 0 1\n",
+       "duplicate '.probe supply'", 3},
+  };
+  for (const MalformedCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    try {
+      parse_deck_string(c.deck, "bad.cir");
+      ADD_FAILURE() << "expected DeckError";
+    } catch (const DeckError& e) {
+      EXPECT_EQ(e.line(), c.line) << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.message_fragment),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("bad.cir:"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(DeckParser, NodesCardPinsNodeIds) {
+  const Deck deck = parse_deck_string(
+      "* order\n"
+      ".nodes z y x\n"
+      "R1 x y 1k\n"
+      "R2 y z 1k\n"
+      "R3 z 0 1k\n");
+  const Netlist n = deck.instantiate();
+  EXPECT_EQ(n.node_name(1), "z");
+  EXPECT_EQ(n.node_name(2), "y");
+  EXPECT_EQ(n.node_name(3), "x");
+}
+
+}  // namespace
+}  // namespace moheco::spice

@@ -332,13 +332,14 @@ TEST(NetlistFormat, GoldenDeckRoundTrip) {
   n.add_mosfet("M1", out, in, 0, 0, false, 1e-5, 1e-6, m);
   const std::string golden =
       "* golden\n"
+      ".nodes in out\n"
       "R1 in out 1000\n"
       "CL out 0 2e-12\n"
       "Vin in 0 DC 0.5 PULSE(0.5 1.5 1e-08 1e-09 1e-09 5e-07 0)\n"
       "M1 out in 0 0 model_M1 W=1e-05 L=1e-06\n"
       ".model model_M1 NMOS (LEVEL=1 VTO=0.55 GAMMA=0.55 PHI=0.8 "
-      "LAMBDA=0.06 TOX=7.5e-09 UO=400 LD=0 WD=0 CGSO=2e-10 CGDO=2e-10 "
-      "CJ=0.0009 CJSW=2.5e-10)\n"
+      "LAMBDA=0.06 LREF=1e-06 TOX=7.5e-09 UO=400 U0=0.04 LD=0 WD=0 "
+      "NSUB=1.5 LDIFF=5e-07 CGSO=2e-10 CGDO=2e-10 CJ=9e-04 CJSW=2.5e-10)\n"
       ".end\n";
   EXPECT_EQ(to_spice_deck(n, "golden"), golden);
 }
