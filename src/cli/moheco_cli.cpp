@@ -1,8 +1,7 @@
 // moheco_cli: the deck-driven command-line front end.
 //
 // Loads a SPICE deck with the MOHECO extension cards (see
-// src/spice/deck_parser.hpp for the dialect), wraps it as a
-// circuits::NetlistYieldProblem and either
+// src/spice/deck_parser.hpp for the dialect) and either
 //   - runs the MOHECO yield optimizer on it (default),
 //   - estimates the MC yield at the deck's nominal sizing (--estimate), or
 //   - prints the nominal-point performance (--nominal),
@@ -11,10 +10,19 @@
 // persists the evaluation scheduler's warm-start blob store across
 // invocations through the ResultsCache, so repeated runs over recurring
 // sizings skip their nominal re-measurements.
+//
+// Jobs execute through serve::JobRunner -- the same code path the moheco_d
+// daemon uses -- so a local run and a daemon run of the same (deck, seed,
+// options) produce bit-identical result JSON.  --connect=ENDPOINT submits
+// the job to a running moheco_d instead of computing locally (--detach
+// returns after the ack; --op=status|cancel|stats|ping|shutdown speaks the
+// control ops).  See docs/protocol.md.
+//
+// Exit codes: 0 success, 1 runtime failure (bad deck, daemon unreachable,
+// job failed), 2 usage error (unknown/malformed arguments).
 #include <cerrno>
-#include <charconv>
-#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -23,23 +31,22 @@
 #include <string>
 #include <vector>
 
-#include "src/circuits/netlist_problem.hpp"
 #include "src/common/error.hpp"
+#include "src/common/json.hpp"
 #include "src/common/results_cache.hpp"
-#include "src/core/moheco.hpp"
-#include "src/mc/candidate_yield.hpp"
-#include "src/mc/eval_scheduler.hpp"
-#include "src/spice/netlist_format.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/job_runner.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/spice/deck_parser.hpp"
+#include "src/stats/samplers.hpp"
 
 namespace {
 
 using namespace moheco;
 
-enum class Mode { kOptimize, kEstimate, kNominal };
-
 struct CliOptions {
   std::string deck_path;
-  Mode mode = Mode::kOptimize;
+  serve::JobMode mode = serve::JobMode::kOptimize;
   long long estimate_samples = 2000;
   core::MohecoOptions moheco;
   circuits::EvalOptions eval;
@@ -47,11 +54,17 @@ struct CliOptions {
   std::string deck_out_path;
   std::string warm_cache_dir;
   bool quiet = false;
+  // client mode
+  std::string connect;
+  bool detach = false;
+  std::string op;  ///< empty = run/submit a job
+  std::uint64_t job_id = 0;
 };
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: moheco_cli DECK.cir [options]\n"
+               "       moheco_cli --connect=ENDPOINT --op=OP [--job=N]\n"
                "\n"
                "modes (default: run the MOHECO yield optimizer):\n"
                "  --estimate[=N]        MC yield estimate at the nominal .param sizing\n"
@@ -72,7 +85,16 @@ void print_usage() {
                "  --json=PATH           machine-readable results\n"
                "  --deck-out=PATH       sized deck at the reported design\n"
                "  --warm-cache=DIR      persist warm-start blobs across runs\n"
-               "  --quiet               suppress the text report\n");
+               "                        (local runs; the daemon has its own cache)\n"
+               "  --quiet               suppress the text report\n"
+               "\n"
+               "serving (moheco_d, see docs/protocol.md):\n"
+               "  --connect=ENDPOINT    submit to a daemon instead of running locally\n"
+               "                        (unix:PATH, a socket path, tcp:PORT, HOST:PORT)\n"
+               "  --detach              return after the submit ack (prints the ack\n"
+               "                        JSON with the job id; the job keeps running)\n"
+               "  --op=NAME             control op: status|cancel|stats|ping|shutdown\n"
+               "  --job=N               job id for --op=status / --op=cancel\n");
 }
 
 bool parse_long(const std::string& text, long long* out) {
@@ -86,7 +108,7 @@ bool parse_long(const std::string& text, long long* out) {
 long long need_int(const std::string& arg, const std::string& value) {
   long long v = 0;
   if (!parse_long(value, &v)) {
-    throw InvalidArgument("moheco_cli: bad integer in " + arg);
+    throw InvalidArgument("moheco_cli: bad integer in '" + arg + "'");
   }
   return v;
 }
@@ -97,7 +119,7 @@ int need_int32(const std::string& arg, const std::string& value) {
   const long long v = need_int(arg, value);
   if (v < std::numeric_limits<int>::min() ||
       v > std::numeric_limits<int>::max()) {
-    throw InvalidArgument("moheco_cli: value out of range in " + arg);
+    throw InvalidArgument("moheco_cli: value out of range in '" + arg + "'");
   }
   return static_cast<int>(v);
 }
@@ -114,14 +136,24 @@ CliOptions parse_cli(int argc, char** argv) {
       print_usage();
       std::exit(0);
     } else if (key == "--estimate") {
-      cli.mode = Mode::kEstimate;
+      cli.mode = serve::JobMode::kEstimate;
       if (!value.empty()) cli.estimate_samples = need_int(arg, value);
     } else if (arg == "--nominal") {
-      cli.mode = Mode::kNominal;
+      cli.mode = serve::JobMode::kNominal;
     } else if (key == "--population") {
       cli.moheco.population = need_int32(arg, value);
+      // Range errors are usage errors (exit 2), not optimizer failures:
+      // catch them here where the message can quote the flag.
+      if (cli.moheco.population < 4) {
+        throw InvalidArgument("moheco_cli: population must be at least 4 in '" +
+                              arg + "'");
+      }
     } else if (key == "--max-generations") {
       cli.moheco.max_generations = need_int32(arg, value);
+      if (cli.moheco.max_generations < 1) {
+        throw InvalidArgument("moheco_cli: generations must be positive in '" +
+                              arg + "'");
+      }
     } else if (key == "--stop-stagnation") {
       cli.moheco.stop_stagnation = need_int32(arg, value);
     } else if (key == "--seed") {
@@ -137,7 +169,12 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--no-overlap") {
       cli.moheco.overlap_generations = false;
     } else if (key == "--sampling") {
-      cli.moheco.estimation.mc.sampling = stats::parse_sampling_method(value);
+      try {
+        cli.moheco.estimation.mc.sampling = stats::parse_sampling_method(value);
+      } catch (const Error&) {
+        throw InvalidArgument("moheco_cli: bad value in '" + arg +
+                              "' (want lhs or pmc)");
+      }
     } else if (arg == "--transient") {
       cli.eval.transient = true;
     } else if (key == "--backend") {
@@ -148,7 +185,7 @@ CliOptions parse_cli(int argc, char** argv) {
       } else if (value == "auto") {
         cli.eval.backend = spice::SolverBackend::kAuto;
       } else {
-        throw InvalidArgument("moheco_cli: unknown backend '" + value + "'");
+        throw InvalidArgument("moheco_cli: unknown backend in '" + arg + "'");
       }
     } else if (key == "--json") {
       cli.json_path = value;
@@ -158,6 +195,22 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.warm_cache_dir = value;
     } else if (arg == "--quiet") {
       cli.quiet = true;
+    } else if (key == "--connect") {
+      if (value.empty()) {
+        throw InvalidArgument("moheco_cli: missing endpoint in '" + arg + "'");
+      }
+      cli.connect = value;
+    } else if (arg == "--detach") {
+      cli.detach = true;
+    } else if (key == "--op") {
+      if (value != "status" && value != "cancel" && value != "stats" &&
+          value != "ping" && value != "shutdown") {
+        throw InvalidArgument("moheco_cli: unknown op in '" + arg +
+                              "' (want status|cancel|stats|ping|shutdown)");
+      }
+      cli.op = value;
+    } else if (key == "--job") {
+      cli.job_id = static_cast<std::uint64_t>(need_int(arg, value));
     } else if (!arg.empty() && arg[0] == '-') {
       throw InvalidArgument("moheco_cli: unknown option '" + arg +
                             "' (see --help)");
@@ -167,138 +220,27 @@ CliOptions parse_cli(int argc, char** argv) {
       throw InvalidArgument("moheco_cli: more than one deck given");
     }
   }
+  if (!cli.op.empty()) {
+    if (cli.connect.empty()) {
+      throw InvalidArgument("moheco_cli: '--op' requires --connect=ENDPOINT");
+    }
+    if ((cli.op == "status" || cli.op == "cancel") && cli.job_id == 0) {
+      throw InvalidArgument("moheco_cli: '--op=" + cli.op +
+                            "' requires --job=N");
+    }
+    return cli;  // control ops take no deck
+  }
+  if (cli.job_id != 0) {
+    throw InvalidArgument("moheco_cli: '--job' requires --op=status|cancel");
+  }
+  if (cli.detach && cli.connect.empty()) {
+    throw InvalidArgument("moheco_cli: '--detach' requires --connect");
+  }
   if (cli.deck_path.empty()) {
     print_usage();
     throw InvalidArgument("moheco_cli: no deck file given");
   }
   return cli;
-}
-
-std::string fmt(double v) {
-  // Bare inf/nan are not valid JSON tokens; emit null instead.
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, result.ptr);
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-/// Minimal JSON object builder (flat + nested objects only).
-class JsonObject {
- public:
-  void add_string(const std::string& key, const std::string& value) {
-    field(key) << '"' << json_escape(value) << '"';
-  }
-  void add_number(const std::string& key, double value) {
-    field(key) << fmt(value);
-  }
-  void add_int(const std::string& key, long long value) {
-    field(key) << value;
-  }
-  void add_bool(const std::string& key, bool value) {
-    field(key) << (value ? "true" : "false");
-  }
-  void add_raw(const std::string& key, const std::string& body) {
-    field(key) << body;
-  }
-  std::string str() const { return "{" + body_.str() + "}"; }
-
- private:
-  std::ostringstream& field(const std::string& key) {
-    if (!first_) body_ << ',';
-    first_ = false;
-    body_ << '"' << json_escape(key) << "\":";
-    return body_;
-  }
-  std::ostringstream body_;
-  bool first_ = true;
-};
-
-std::string json_design(const circuits::DeckTopology& topology,
-                        std::span<const double> x) {
-  JsonObject obj;
-  const auto& vars = topology.design_vars();
-  for (std::size_t i = 0; i < vars.size() && i < x.size(); ++i) {
-    obj.add_number(vars[i].name, x[i]);
-  }
-  return obj.str();
-}
-
-std::string json_performance(const circuits::Performance& perf) {
-  JsonObject obj;
-  obj.add_bool("valid", perf.valid);
-  obj.add_number("a0_db", perf.a0_db);
-  obj.add_number("gbw", perf.gbw);
-  obj.add_number("pm_deg", perf.pm_deg);
-  obj.add_number("swing", perf.swing);
-  obj.add_number("power", perf.power);
-  obj.add_number("offset", perf.offset);
-  obj.add_number("area", perf.area);
-  obj.add_number("sat_margin", perf.sat_margin);
-  obj.add_number("slew_rate", perf.slew_rate);
-  obj.add_number("settling_time", perf.settling_time);
-  return obj.str();
-}
-
-std::string json_sim_breakdown(const mc::SimBreakdown& b) {
-  JsonObject obj;
-  obj.add_int("screen", b.screen);
-  obj.add_int("stage1", b.stage1);
-  obj.add_int("ocba", b.ocba);
-  obj.add_int("stage2", b.stage2);
-  obj.add_int("other", b.other);
-  obj.add_int("total", b.total());
-  return obj.str();
-}
-
-std::string json_sched_breakdown(const mc::SchedBreakdown& b) {
-  JsonObject obj;
-  obj.add_int("session_hits", b.session_hits);
-  obj.add_int("cold_opens", b.cold_opens);
-  obj.add_int("warm_opens", b.warm_opens);
-  obj.add_int("affinity_hits", b.affinity_hits);
-  obj.add_int("steals", b.steals);
-  obj.add_int("migrations", b.migrations);
-  return obj.str();
-}
-
-/// ResultsCache key of the deck's warm-blob snapshot: the deck file stem
-/// plus a hash of the deck text.  The content hash matters: a warm-start
-/// blob is validated against the design vector and the solver's structural
-/// pattern key only, so editing a component value in the deck (same
-/// structure, same .param nominals) would otherwise replay the OLD deck's
-/// baked-in nominal performance from the cache.
-std::string warm_cache_key(const std::string& deck_path,
-                           const std::string& deck_text) {
-  std::size_t start = deck_path.find_last_of("/\\");
-  start = start == std::string::npos ? 0 : start + 1;
-  std::size_t end = deck_path.rfind('.');
-  if (end == std::string::npos || end <= start) end = deck_path.size();
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (const char c : deck_text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  char hex[17];
-  std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(h));
-  return "warmblobs_" + deck_path.substr(start, end - start) + "_" + hex;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -308,8 +250,9 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
-int run(const CliOptions& cli) {
-  std::string deck_text;
+serve::JobSpec make_spec(const CliOptions& cli) {
+  serve::JobSpec spec;
+  spec.deck_name = cli.deck_path;
   {
     std::ifstream in(cli.deck_path);
     if (!in) {
@@ -317,131 +260,72 @@ int run(const CliOptions& cli) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    deck_text = buffer.str();
+    spec.deck_text = buffer.str();
   }
-  spice::Deck deck = spice::parse_deck_string(deck_text, cli.deck_path);
-  circuits::NetlistYieldProblem problem(std::move(deck), cli.eval);
-  const circuits::DeckTopology& topology = problem.deck_topology();
-  const std::vector<double> nominal = problem.nominal_x();
+  spec.mode = cli.mode;
+  spec.estimate_samples = cli.estimate_samples;
+  spec.moheco = cli.moheco;
+  spec.eval = cli.eval;
+  spec.want_sized_deck = !cli.deck_out_path.empty();
+  return spec;
+}
 
-  if (!cli.quiet) {
-    std::printf("deck:    %s (\"%s\")\n", cli.deck_path.c_str(),
-                topology.name().c_str());
-    std::printf("problem: %d transistors, %zu design variables, %zu process "
-                "variables, %zu specs (+%zu transient)\n",
-                topology.num_transistors(), problem.num_design_vars(),
-                problem.noise_dim(), topology.specs().size(),
-                topology.transient_specs().size());
-  }
-
-  JsonObject json;
-  json.add_string("deck", cli.deck_path);
-  json.add_string("title", topology.name());
-  json.add_int("seed", static_cast<long long>(cli.moheco.seed));
-  json.add_int("num_design_vars",
-               static_cast<long long>(problem.num_design_vars()));
-  json.add_int("noise_dim", static_cast<long long>(problem.noise_dim()));
-
-  std::vector<double> reported_x = nominal;
-  const std::string cache_key = warm_cache_key(cli.deck_path, deck_text);
-
-  if (cli.mode == Mode::kNominal) {
-    json.add_string("mode", "nominal");
-    const circuits::Performance perf =
-        problem.performance(nominal, /*xi=*/{});
-    if (!cli.quiet) {
-      std::printf("nominal: A0 = %.2f dB, GBW = %.3f MHz, PM = %.1f deg, "
-                  "swing = %.2f V, power = %.3f mW, offset = %.2f mV\n",
-                  perf.a0_db, perf.gbw / 1e6, perf.pm_deg, perf.swing,
-                  perf.power * 1e3, perf.offset * 1e3);
-      // problem.specs() already includes the transient specs when
-      // --transient is on, unlike topology.specs().
-      std::printf("specs %s at the nominal point\n",
-                  circuits::passes(perf, problem.specs()) ? "PASS" : "FAIL");
-    }
-    json.add_raw("nominal_performance", json_performance(perf));
-    json.add_bool("nominal_pass", circuits::passes(perf, problem.specs()));
-  } else if (cli.mode == Mode::kEstimate) {
-    json.add_string("mode", "estimate");
-    ThreadPool pool(cli.moheco.threads);
-    mc::EvalScheduler scheduler(pool, cli.moheco.scheduler);
-    std::size_t imported = 0;
-    if (!cli.warm_cache_dir.empty()) {
-      const ResultsCache cache(cli.warm_cache_dir);
-      if (const auto blobs = cache.load(cache_key)) {
-        imported = scheduler.import_blobs(problem, *blobs);
-      }
-    }
-    mc::SimCounter sims;
-    const double yield = mc::reference_yield(
-        problem, nominal, cli.estimate_samples, cli.moheco.seed, scheduler,
-        cli.moheco.estimation.mc.sampling, &sims);
-    if (!cli.warm_cache_dir.empty()) {
-      ResultsCache(cli.warm_cache_dir).store(cache_key,
-                                             scheduler.export_blobs());
-    }
-    if (!cli.quiet) {
-      std::printf("estimated yield at the nominal sizing: %.2f%% "
-                  "(%lld samples, seed %llu)\n",
-                  100.0 * yield, cli.estimate_samples,
-                  static_cast<unsigned long long>(cli.moheco.seed));
-    }
-    json.add_number("yield", yield);
-    json.add_int("samples", cli.estimate_samples);
-    json.add_int("warm_blobs_imported", static_cast<long long>(imported));
-    json.add_raw("sched_breakdown",
-                 json_sched_breakdown(sims.sched_breakdown()));
+/// Renders the human-readable report from the result JSON (the one source
+/// of truth both the local path and --connect produce).
+void print_report(const JsonValue& r) {
+  std::printf("deck:    %s (\"%s\")\n", r["deck"].as_string().c_str(),
+              r["title"].as_string().c_str());
+  std::printf("problem: %lld transistors, %lld design variables, %lld process "
+              "variables, %lld specs (+%lld transient)\n",
+              r["num_transistors"].as_int(), r["num_design_vars"].as_int(),
+              r["noise_dim"].as_int(), r["num_specs"].as_int(),
+              r["num_transient_specs"].as_int());
+  const std::string& mode = r["mode"].as_string();
+  if (mode == "nominal") {
+    const JsonValue& perf = r["nominal_performance"];
+    std::printf("nominal: A0 = %.2f dB, GBW = %.3f MHz, PM = %.1f deg, "
+                "swing = %.2f V, power = %.3f mW, offset = %.2f mV\n",
+                perf["a0_db"].as_number(), perf["gbw"].as_number() / 1e6,
+                perf["pm_deg"].as_number(), perf["swing"].as_number(),
+                perf["power"].as_number() * 1e3,
+                perf["offset"].as_number() * 1e3);
+    std::printf("specs %s at the nominal point\n",
+                r["nominal_pass"].as_bool() ? "PASS" : "FAIL");
+  } else if (mode == "estimate") {
+    std::printf("estimated yield at the nominal sizing: %.2f%% "
+                "(%lld samples, seed %llu)\n",
+                100.0 * r["yield"].as_number(), r["samples"].as_int(),
+                static_cast<unsigned long long>(r["seed"].as_uint()));
   } else {
-    json.add_string("mode", "optimize");
-    core::MohecoOptimizer optimizer(problem, cli.moheco);
-    std::size_t imported = 0;
-    if (!cli.warm_cache_dir.empty()) {
-      const ResultsCache cache(cli.warm_cache_dir);
-      if (const auto blobs = cache.load(cache_key)) {
-        imported = optimizer.scheduler().import_blobs(problem, *blobs);
-      }
+    std::printf("finished after %lld generations, %lld simulations\n",
+                r["generations"].as_int(), r["total_simulations"].as_int());
+    if (r["feasible"].as_bool()) {
+      std::printf("best yield: %.2f%% (%lld MC samples)\n",
+                  100.0 * r["best_yield"].as_number(),
+                  r["best_samples"].as_int());
+    } else {
+      std::printf("no nominally feasible design found (violation %.4f)\n",
+                  r["violation"].as_number());
     }
-    const core::MohecoResult result = optimizer.run();
-    if (!cli.warm_cache_dir.empty()) {
-      ResultsCache(cli.warm_cache_dir)
-          .store(cache_key, optimizer.scheduler().export_blobs());
+    const JsonValue& design = r["design"];
+    for (const std::string& name : design.member_names()) {
+      std::printf("  %-12s = %.6g\n", name.c_str(),
+                  design[name].as_number());
     }
-    reported_x = result.best.x;
-    if (!cli.quiet) {
-      std::printf("finished after %d generations, %lld simulations\n",
-                  result.generations, result.total_simulations);
-      if (result.best.fitness.feasible) {
-        std::printf("best yield: %.2f%% (%lld MC samples)\n",
-                    100.0 * result.best.fitness.yield, result.best.samples);
-      } else {
-        std::printf("no nominally feasible design found (violation %.4f)\n",
-                    result.best.fitness.violation);
-      }
-      const auto& vars = topology.design_vars();
-      for (std::size_t i = 0; i < vars.size(); ++i) {
-        std::printf("  %-12s = %.6g\n", vars[i].name.c_str(),
-                    result.best.x[i]);
-      }
-    }
-    json.add_bool("feasible", result.best.fitness.feasible);
-    json.add_number("best_yield", result.best.fitness.yield);
-    json.add_number("violation", result.best.fitness.violation);
-    json.add_int("best_samples", result.best.samples);
-    json.add_int("generations", result.generations);
-    json.add_int("total_simulations", result.total_simulations);
-    json.add_bool("reached_full_yield", result.reached_full_yield);
-    json.add_int("warm_blobs_imported", static_cast<long long>(imported));
-    json.add_raw("sim_breakdown", json_sim_breakdown(result.sim_breakdown));
-    json.add_raw("sched_breakdown",
-                 json_sched_breakdown(result.sched_breakdown));
   }
+}
 
-  json.add_raw("design", json_design(topology, reported_x));
-
+/// Shared tail of both paths: text report + --json / --deck-out outputs.
+/// `result_json` is the exact result-object bytes (never re-serialized).
+int emit_outputs(const CliOptions& cli, const std::string& result_json,
+                 const std::string& sized_deck) {
+  if (!cli.quiet) {
+    if (const std::optional<JsonValue> parsed = parse_json(result_json)) {
+      print_report(*parsed);
+    }
+  }
   if (!cli.deck_out_path.empty()) {
-    const std::string sized = spice::to_spice_deck(
-        problem.sized_netlist(reported_x), topology.name() + " (sized)");
-    if (!write_file(cli.deck_out_path, sized)) {
+    if (!write_file(cli.deck_out_path, sized_deck)) {
       std::fprintf(stderr, "moheco_cli: cannot write %s\n",
                    cli.deck_out_path.c_str());
       return 1;
@@ -451,7 +335,7 @@ int run(const CliOptions& cli) {
     }
   }
   if (!cli.json_path.empty()) {
-    if (!write_file(cli.json_path, json.str() + "\n")) {
+    if (!write_file(cli.json_path, result_json + "\n")) {
       std::fprintf(stderr, "moheco_cli: cannot write %s\n",
                    cli.json_path.c_str());
       return 1;
@@ -460,13 +344,121 @@ int run(const CliOptions& cli) {
   return 0;
 }
 
+int run_local(const CliOptions& cli) {
+  const serve::JobSpec spec = make_spec(cli);
+  ThreadPool pool(cli.moheco.threads);
+  serve::JobRunner runner(pool, cli.moheco.scheduler);
+
+  // Warm-start persistence: keyed on deck CONTENT (serve::warm_cache_key),
+  // so the same deck hits from any path and an edited deck misses.
+  const std::string cache_key = serve::warm_cache_key(spec);
+  std::optional<ResultMap> warm;
+  if (!cli.warm_cache_dir.empty()) {
+    warm = ResultsCache(cli.warm_cache_dir).load(cache_key);
+  }
+  const serve::JobResult result = runner.run(
+      spec, warm && !warm->empty() ? &*warm : nullptr, /*cancel=*/nullptr);
+  if (!result.ok) {
+    std::fprintf(stderr, "moheco_cli: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (!cli.warm_cache_dir.empty() && !result.warm_blobs.empty()) {
+    ResultsCache(cli.warm_cache_dir).store(cache_key, result.warm_blobs);
+  }
+  return emit_outputs(cli, result.json, result.sized_deck);
+}
+
+int run_control_op(const CliOptions& cli) {
+  serve::ServeClient client;
+  client.connect(cli.connect);
+  const std::string line =
+      (cli.op == "status" || cli.op == "cancel")
+          ? serve::encode_job_op(cli.op, cli.job_id)
+          : serve::encode_op(cli.op);
+  const JsonValue response = client.request(line);
+  std::printf("%s\n", response.raw().c_str());
+  if (!response["ok"].as_bool()) {
+    std::fprintf(stderr, "moheco_cli: %s: %s\n",
+                 response["code"].as_string("error").c_str(),
+                 response["error"].as_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int run_connect(const CliOptions& cli) {
+  if (!cli.warm_cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "moheco_cli: note: --warm-cache is ignored with --connect "
+                 "(the daemon keeps its own warm cache)\n");
+  }
+  const serve::JobSpec spec = make_spec(cli);
+  serve::ServeClient client;
+  client.connect(cli.connect);
+  const JsonValue ack = client.request(serve::encode_submit(spec, ""));
+  if (!ack["ok"].as_bool()) {
+    std::fprintf(stderr, "moheco_cli: submit %s: %s\n",
+                 ack["code"].as_string("failed").c_str(),
+                 ack["error"].as_string().c_str());
+    return 1;
+  }
+  if (cli.detach) {
+    // The ack (with the job id) is the deliverable; the job keeps running
+    // in the daemon and its result lands in the daemon's caches.
+    std::printf("%s\n", ack.raw().c_str());
+    return 0;
+  }
+  if (!cli.quiet) {
+    std::printf("submitted job %llu to %s, waiting...\n",
+                static_cast<unsigned long long>(ack["job"].as_uint()),
+                cli.connect.c_str());
+  }
+  // Block until the terminal line (acks of other ops cannot appear: this
+  // connection only submitted one job).
+  std::optional<JsonValue> terminal;
+  while (std::optional<std::string> line = client.read_line()) {
+    std::optional<JsonValue> parsed = parse_json(*line);
+    if (parsed && (*parsed)["op"].as_string() == "result") {
+      terminal = std::move(parsed);
+      break;
+    }
+  }
+  if (!terminal) {
+    throw Error("daemon closed the connection before the job finished");
+  }
+  const JsonValue& t = *terminal;
+  if (!t["ok"].as_bool()) {
+    std::fprintf(stderr, "moheco_cli: job %s: %s\n",
+                 t["state"].as_string("failed").c_str(),
+                 t["error"].as_string().c_str());
+    return 1;
+  }
+  if (!cli.quiet && t["cached"].as_bool()) {
+    std::printf("(served from the daemon's result cache)\n");
+  }
+  // raw() of the nested result object: the daemon's exact bytes, so
+  // --json output is bit-identical to a local run.
+  return emit_outputs(cli, t["result"].raw(), t["sized_deck"].as_string());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  CliOptions cli;
   try {
-    return run(parse_cli(argc, argv));
+    cli = parse_cli(argc, argv);
+  } catch (const moheco::Error& e) {
+    // Usage errors (unknown flag, malformed value) exit 2, distinct from
+    // runtime failures (1), so scripts can tell them apart.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  try {
+    if (!cli.op.empty()) return run_control_op(cli);
+    if (!cli.connect.empty()) return run_connect(cli);
+    return run_local(cli);
   } catch (const moheco::Error& e) {
     std::fprintf(stderr, "moheco_cli: %s\n", e.what());
-    return 2;
+    return 1;
   }
 }

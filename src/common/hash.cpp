@@ -1,0 +1,35 @@
+#include "src/common/hash.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace moheco {
+
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t state) {
+  for (const char c : text) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a64(std::span<const double> values, std::uint64_t state) {
+  for (const double v : values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      state ^= (bits >> (8 * b)) & 0xFFu;
+      state *= kFnvPrime;
+    }
+  }
+  return state;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+}  // namespace moheco

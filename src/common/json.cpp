@@ -1,0 +1,331 @@
+#include "src/common/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace moheco {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+long long JsonValue::as_int(long long fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text_.c_str(), &end, 10);
+  if (end != text_.c_str() && *end == '\0' && errno != ERANGE) return v;
+  return static_cast<long long>(number_);
+}
+
+std::uint64_t JsonValue::as_uint(std::uint64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text_.c_str(), &end, 10);
+  if (end != text_.c_str() && *end == '\0' && errno != ERANGE) return v;
+  return static_cast<std::uint64_t>(number_);
+}
+
+const std::string& JsonValue::empty_string() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const JsonValue& JsonValue::null_value() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (kind_ != Kind::kObject) return null_value();
+  const auto it = members_.find(key);
+  return it == members_.end() ? null_value() : it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return kind_ == Kind::kObject && members_.count(key) > 0;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value, std::string lexeme) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  v.text_ = lexeme.empty() ? json_number(value) : std::move(lexeme);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members,
+                                 std::vector<std::string> order) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  if (order.empty()) {
+    for (const auto& [key, value] : members) order.push_back(key);
+  }
+  v.members_ = std::move(members);
+  v.member_names_ = std::move(order);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.  Depth-limited so a
+/// hostile "[[[[..." line cannot blow the daemon's stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> value = parse_value(0);
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{' || c == '[') {
+      const std::size_t start = pos_;
+      std::optional<JsonValue> value =
+          c == '{' ? parse_object(depth) : parse_array(depth);
+      if (value) {
+        value->set_raw(std::string(text_.substr(start, pos_ - start)));
+      }
+      return value;
+    }
+    if (c == '"') {
+      std::optional<std::string> s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue::make_string(std::move(*s));
+    }
+    if (literal("true")) return JsonValue::make_bool(true);
+    if (literal("false")) return JsonValue::make_bool(false);
+    if (literal("null")) return JsonValue::make_null();
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    double value = 0.0;
+    const auto result =
+        std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), value);
+    if (result.ec != std::errc() || result.ptr != lexeme.data() + lexeme.size()) {
+      // Large u64 lexemes overflow from_chars' double range check only when
+      // malformed; out_of_range still yields the clamped value we want.
+      if (result.ec != std::errc::result_out_of_range) return std::nullopt;
+    }
+    return JsonValue::make_number(value, lexeme);
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::optional<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    return code;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            std::optional<unsigned> code = parse_hex4();
+            if (!code) return std::nullopt;
+            unsigned value = *code;
+            if (value >= 0xD800 && value <= 0xDBFF) {
+              // Surrogate pair: require the low half immediately after.
+              if (!literal("\\u")) return std::nullopt;
+              std::optional<unsigned> low = parse_hex4();
+              if (!low || *low < 0xDC00 || *low > 0xDFFF) return std::nullopt;
+              value = 0x10000 + ((value - 0xD800) << 10) + (*low - 0xDC00);
+            }
+            append_utf8(out, value);
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_array(int depth) {
+    consume('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      std::optional<JsonValue> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      items.push_back(std::move(*value));
+      skip_ws();
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object(int depth) {
+    consume('{');
+    std::map<std::string, JsonValue> members;
+    std::vector<std::string> order;
+    skip_ws();
+    if (consume('}')) {
+      return JsonValue::make_object(std::move(members), std::move(order));
+    }
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      std::optional<JsonValue> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      if (members.count(*key) == 0) order.push_back(*key);
+      members[std::move(*key)] = std::move(*value);  // last duplicate wins
+      skip_ws();
+      if (consume('}')) {
+        return JsonValue::make_object(std::move(members), std::move(order));
+      }
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace moheco

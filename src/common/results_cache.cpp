@@ -99,4 +99,47 @@ void ResultsCache::store(const std::string& key, const ResultMap& results) const
   }
 }
 
+std::optional<std::string> ResultsCache::load_text(const std::string& key) const {
+  std::ifstream in(path_ + "/" + sanitize(key) + ".blob",
+                   std::ios::in | std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return buffer.str();
+}
+
+void ResultsCache::store_text(const std::string& key,
+                              const std::string& text) const {
+  std::error_code ec;
+  std::filesystem::create_directories(path_, ec);
+  if (ec) {
+    log_warn("results cache: cannot create ", path_, ": ", ec.message());
+    return;
+  }
+  const std::string final_path = path_ + "/" + sanitize(key) + ".blob";
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::out | std::ios::binary);
+    if (!out) {
+      log_warn("results cache: cannot write ", tmp_path);
+      return;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      log_warn("results cache: failed writing ", tmp_path);
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    log_warn("results cache: cannot rename ", tmp_path, " -> ", final_path,
+             ": ", ec.message());
+    std::filesystem::remove(tmp_path, ec);
+  }
+}
+
 }  // namespace moheco

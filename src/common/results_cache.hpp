@@ -27,6 +27,12 @@ class ResultsCache {
   /// Stores (replacing) the result map under `key`.
   void store(const std::string& key, const ResultMap& results) const;
 
+  /// Raw-text entries (same directory, atomic-rename discipline): the
+  /// serving daemon persists cached result JSON payloads through these.
+  /// Text keys live in a separate namespace from result-map keys.
+  std::optional<std::string> load_text(const std::string& key) const;
+  void store_text(const std::string& key, const std::string& text) const;
+
   /// Default cache location: $MOHECO_CACHE_DIR or /tmp/moheco_cache.
   static ResultsCache default_cache();
 

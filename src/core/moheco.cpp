@@ -14,9 +14,25 @@ MohecoOptimizer::MohecoOptimizer(const mc::YieldProblem& problem,
                                  MohecoOptions options)
     : problem_(&problem),
       options_(options),
-      pool_(options.threads),
-      scheduler_(pool_, options.scheduler),
+      owned_pool_(std::make_unique<ThreadPool>(options.threads)),
+      owned_scheduler_(
+          std::make_unique<mc::EvalScheduler>(*owned_pool_, options.scheduler)),
+      scheduler_(owned_scheduler_.get()),
       rng_(stats::derive_seed(options.seed, 0xDE05)) {
+  init_bounds(problem);
+}
+
+MohecoOptimizer::MohecoOptimizer(const mc::YieldProblem& problem,
+                                 MohecoOptions options,
+                                 mc::EvalScheduler& scheduler)
+    : problem_(&problem),
+      options_(options),
+      scheduler_(&scheduler),
+      rng_(stats::derive_seed(options.seed, 0xDE05)) {
+  init_bounds(problem);
+}
+
+void MohecoOptimizer::init_bounds(const mc::YieldProblem& problem) {
   require(options_.population >= 4, "MohecoOptimizer: population must be >= 4");
   const std::size_t dim = problem.num_design_vars();
   bounds_.lo.resize(dim);
@@ -55,7 +71,7 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   // set; with overlap off they drain in their own flush first.  Either way
   // they land in the tallies before this generation's OCBA pool reads them,
   // so the tallies are bit-identical across the two modes.
-  if (!options_.overlap_generations) scheduler_.flush(sims_);
+  if (!options_.overlap_generations) scheduler_->flush(sims_);
 
   // Acceptance-sampling screen: nominal feasibility of the whole generation
   // as one batched job set on the scheduler (sessions opened here stay
@@ -63,7 +79,7 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   std::vector<mc::CandidateYield*> screen_batch;
   screen_batch.reserve(count);
   for (auto& c : candidates) screen_batch.push_back(c.get());
-  scheduler_.screen(screen_batch, sims_);
+  scheduler_->screen(screen_batch, sims_);
 
   // The deferred stage-2 samples just landed; refresh the surviving
   // population's fitness before the new OCBA pool is assembled.
@@ -83,14 +99,14 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     }
     // Stage-2 batches stay pending (streams already consumed) and run
     // merged with the next generation's screens -- see overlap_generations.
-    mc::two_stage_estimate(ocba_pool, options_.estimation, scheduler_, sims_,
+    mc::two_stage_estimate(ocba_pool, options_.estimation, *scheduler_, sims_,
                            /*flush_stage2=*/false);
     // A candidate with a pending stage-2 batch can lose the upcoming Deb
     // selection (or a parent can be replaced) and be dropped before the
     // deferred flush runs; the scheduler keeps them alive until then.
-    for (const auto& c : candidates) scheduler_.retain(c);
+    for (const auto& c : candidates) scheduler_->retain(c);
     for (Member& m : population_) {
-      if (m.tally) scheduler_.retain(m.tally);
+      if (m.tally) scheduler_->retain(m.tally);
     }
     // Refresh population fitness after the stage-1/OCBA refinement.
     refresh_population_fitness();
@@ -98,10 +114,10 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     // Fixed-budget baseline: still one generation-wide job set (no stage 2,
     // so nothing to defer).
     for (mc::CandidateYield* c : ocba_pool) {
-      scheduler_.enqueue(*c, options_.fixed_budget - c->samples(),
+      scheduler_->enqueue(*c, options_.fixed_budget - c->samples(),
                          options_.estimation.mc);
     }
-    scheduler_.flush(sims_);
+    scheduler_->flush(sims_);
   }
 
   std::vector<Evaluated> out(count);
@@ -135,7 +151,7 @@ MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
       *problem_, std::vector<double>(x.begin(), x.end()),
       stats::derive_seed(options_.seed, 0x5EED, ++stream_counter_));
   mc::CandidateYield* one[] = {candidate.get()};
-  scheduler_.screen(one, sims_);
+  scheduler_->screen(one, sims_);
   Evaluated e;
   if (!candidate->nominal_feasible()) {
     e.fitness = opt::infeasible_fitness(candidate->nominal_violation());
@@ -143,7 +159,7 @@ MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
   }
   const int n_report =
       options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
-  scheduler_.refine(*candidate, n_report, sims_, options_.estimation.mc);
+  scheduler_->refine(*candidate, n_report, sims_, options_.estimation.mc);
   e.fitness = opt::feasible_fitness(candidate->mean());
   e.samples = candidate->samples();
   e.tally = std::move(candidate);
@@ -205,13 +221,20 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   sims_.reset();
   // A previous run that threw mid-generation can leave deferred stage-2
   // jobs (and their keep-alives) on the scheduler; drop them untallied.
-  scheduler_.discard_pending();
+  scheduler_->discard_pending();
   population_.clear();
   stream_counter_ = 0;
   last_local_search_x_.clear();
 
   const int n_report =
       options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
+
+  // A job cancelled before any work: report an empty (infeasible) result
+  // without paying for the initial population.
+  if (options_.should_stop && options_.should_stop()) {
+    result.cancelled = true;
+    return result;
+  }
 
   // --- Initialization (Step 0). ---
   std::vector<std::vector<double>> initial;
@@ -242,6 +265,13 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   int stagnant_stop = 0;  // generations since improvement (stopping rule)
 
   for (int gen = 1; gen <= max_generations; ++gen) {
+    // Cooperative cancellation: polled at the generation boundary, i.e.
+    // right after the previous generation's flush points.  The deferred
+    // stage-2 batches are drained below (outside the loop) either way.
+    if (options_.should_stop && options_.should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     GenerationTrace trace;
     trace.generation = gen;
 
@@ -303,8 +333,8 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     {
       const Member& maybe = population_[best_index()];
       if (maybe.fitness.feasible && maybe.fitness.yield >= 1.0 &&
-          maybe.samples < n_report && scheduler_.has_pending()) {
-        scheduler_.flush(sims_);
+          maybe.samples < n_report && scheduler_->has_pending()) {
+        scheduler_->flush(sims_);
         refresh_population_fitness();
       }
     }
@@ -331,15 +361,17 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
 
   // Drain the last generation's deferred stage-2 batches and fold them into
   // the population fitnesses before picking the reported best.
-  scheduler_.flush(sims_);
+  scheduler_->flush(sims_);
   refresh_population_fitness();
 
   // Report the best member with an accurate (n_report) estimate; its tally
-  // persists, so only the missing samples are drawn.
+  // persists, so only the missing samples are drawn.  A cancelled run skips
+  // the refinement: the caller asked to stop, so it gets the best estimate
+  // accumulated so far.
   Member best = population_[best_index()];
-  if (best.fitness.feasible && best.samples < n_report) {
+  if (!result.cancelled && best.fitness.feasible && best.samples < n_report) {
     if (best.tally) {
-      scheduler_.refine(*best.tally, n_report - best.samples, sims_,
+      scheduler_->refine(*best.tally, n_report - best.samples, sims_,
                         options_.estimation.mc);
       best.fitness.yield = best.tally->mean();
       best.samples = best.tally->samples();

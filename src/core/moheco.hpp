@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,14 @@ struct MohecoOptions {
   /// drains the deferred batches in a separate flush at the same point).
   bool overlap_generations = true;
   std::uint64_t seed = 1;
+  /// Cooperative cancellation hook, polled at generation boundaries (after
+  /// every flush point, before the next generation's work is enqueued).
+  /// When it returns true the run stops early: pending deferred batches are
+  /// drained (the scheduler stays consistent), the current best is reported
+  /// without the final accurate refinement, and MohecoResult::cancelled is
+  /// set.  Null (the default) never cancels.  The serving daemon points
+  /// this at the job's cancel flag.
+  std::function<bool()> should_stop;
 };
 
 /// One population member's bookkeeping.  Feasible members keep their MC
@@ -117,12 +126,25 @@ struct MohecoResult {
   mc::SchedBreakdown sched_breakdown;
   int generations = 0;
   bool reached_full_yield = false;
+  /// True when MohecoOptions::should_stop ended the run early; `best` is
+  /// the best member found so far (skipping the final n_report refinement).
+  bool cancelled = false;
   std::vector<GenerationTrace> trace;
 };
 
 class MohecoOptimizer {
  public:
   MohecoOptimizer(const mc::YieldProblem& problem, MohecoOptions options);
+
+  /// Borrowing constructor: runs on a caller-owned scheduler (and its
+  /// thread pool) instead of constructing one per optimizer.  The serving
+  /// daemon multiplexes every deck job onto ONE shared pool this way, so
+  /// recurring decks find the scheduler's warm state.  `options.threads`
+  /// is ignored; the caller must not touch `scheduler` while run() is in
+  /// flight, and owns purging problem-specific state afterwards
+  /// (EvalScheduler::forget_problem) if the problem outlives the run.
+  MohecoOptimizer(const mc::YieldProblem& problem, MohecoOptions options,
+                  mc::EvalScheduler& scheduler);
 
   MohecoResult run();
 
@@ -133,7 +155,7 @@ class MohecoOptimizer {
   /// The run-wide evaluation scheduler.  Exposed so drivers can persist the
   /// warm-start blob store across runs (EvalScheduler::export_blobs /
   /// import_blobs through a ResultsCache); call only outside run().
-  mc::EvalScheduler& scheduler() { return scheduler_; }
+  mc::EvalScheduler& scheduler() { return *scheduler_; }
 
  private:
   struct Evaluated {
@@ -154,6 +176,7 @@ class MohecoOptimizer {
   /// search and the final reporting.
   Evaluated evaluate_accurate(std::span<const double> x);
 
+  void init_bounds(const mc::YieldProblem& problem);
   std::size_t best_index() const;
   /// Folds each surviving member's tally back into its fitness/samples.
   /// Must run after every flush point that can land deferred stage-2
@@ -165,10 +188,13 @@ class MohecoOptimizer {
   const mc::YieldProblem* problem_;
   MohecoOptions options_;
   opt::Bounds bounds_;
-  ThreadPool pool_;
+  /// Owned when default-constructed, null when the caller supplied a shared
+  /// scheduler (the daemon's pool) through the borrowing constructor.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::unique_ptr<mc::EvalScheduler> owned_scheduler_;
   /// Generation-wide batched evaluation: one scheduler for the whole run,
   /// so per-worker session caches stay warm across generations.
-  mc::EvalScheduler scheduler_;
+  mc::EvalScheduler* scheduler_;
   mc::SimCounter sims_;
   stats::Rng rng_;
   std::uint64_t stream_counter_ = 0;

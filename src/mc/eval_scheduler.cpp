@@ -5,21 +5,11 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
+#include "src/common/hash.hpp"
 
 namespace moheco::mc {
 
-std::uint64_t design_hash(std::span<const double> x) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (double v : x) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    for (int b = 0; b < 8; ++b) {
-      h ^= (bits >> (8 * b)) & 0xFFu;
-      h *= 1099511628211ULL;  // FNV prime
-    }
-  }
-  return h;
-}
+std::uint64_t design_hash(std::span<const double> x) { return fnv1a64(x); }
 
 EvalScheduler::EvalScheduler(ThreadPool& pool, SchedulerOptions options)
     : pool_(&pool),
@@ -64,6 +54,9 @@ void EvalScheduler::park_blob(std::uint64_t x_hash,
 }
 
 ResultMap EvalScheduler::export_blobs() {
+  // Taken before any cache walk: a concurrent flush() owns the worker
+  // caches until its job set drains, so the snapshot waits for it.
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
   // Park the live sessions first (without evicting them): after a run the
   // hottest candidates sit in the worker caches, not in the blob store.
   for (WorkerCache& cache : caches_) {
@@ -84,6 +77,7 @@ ResultMap EvalScheduler::export_blobs() {
 std::size_t EvalScheduler::import_blobs(const YieldProblem& problem,
                                         const ResultMap& blobs) {
   if (options_.warm_start_blobs <= 0) return 0;
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
   std::lock_guard<std::mutex> lock(blob_mutex_);
   std::size_t imported = 0;
   for (const auto& [key, blob] : blobs) {
@@ -99,6 +93,24 @@ std::size_t EvalScheduler::import_blobs(const YieldProblem& problem,
     }
   }
   return imported;
+}
+
+void EvalScheduler::forget_problem(const YieldProblem* problem) {
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  for (WorkerCache& cache : caches_) {
+    for (CacheEntry& entry : cache.entries) {
+      if (entry.session && entry.problem == problem) {
+        entry.session.reset();
+        entry.problem = nullptr;
+        entry.x.clear();
+        live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(blob_mutex_);
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    it = it->second.problem == problem ? blobs_.erase(it) : std::next(it);
+  }
 }
 
 YieldProblem::Session* EvalScheduler::session_for(int worker,
@@ -251,6 +263,10 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
     retained_.clear();
     return;
   }
+  // Blocks blob-store maintenance (export/import/forget from other
+  // threads) until this job set drains; the workers walk the caches
+  // without further locking, exactly as before.
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
   long long total = 0;
   for (const PendingJob& job : pending_) {
     if (!job.screen) total += job.count;
@@ -433,6 +449,7 @@ void EvalScheduler::for_each(
   require(pending_.empty(),
           "EvalScheduler::for_each: flush pending jobs first");
   if (rows == 0) return;
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
   std::size_t chunk = options_.chunk;
   if (chunk == 0) {
     chunk = std::clamp<std::size_t>(

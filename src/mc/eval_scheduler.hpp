@@ -156,8 +156,11 @@ class EvalScheduler {
 
   // --- warm-start blob persistence (see ROADMAP "persist the blob store"):
   // repeated optimizer/bench runs over recurring sizings skip the nominal
-  // re-measurements of the previous run.  Both calls must happen between
-  // flushes (they walk the worker caches unlocked, like flush() itself).
+  // re-measurements of the previous run.  export/import/forget serialize
+  // against flush() and for_each() on an internal mutex, so a serving
+  // daemon may snapshot the blob store from another thread while a flush
+  // is in flight (the snapshot waits for the job set to drain).  They must
+  // still not race the enqueue() side, which stays single-owner.
 
   /// Snapshot of the blob store as a ResultsCache-storable map (decimal
   /// design-hash -> blob).  Live cached sessions are parked first, so the
@@ -171,6 +174,14 @@ class EvalScheduler {
   /// back to a cold open.  Entries beyond the store capacity are dropped.
   /// Returns the number of blobs imported.
   std::size_t import_blobs(const YieldProblem& problem, const ResultMap& blobs);
+
+  /// Drops every cached session and parked blob attributed to `problem`.
+  /// Callers that destroy a problem while the scheduler lives on (the
+  /// serving daemon builds one problem per deck job) MUST call this first:
+  /// a later problem allocated at the same address would otherwise adopt
+  /// sessions of the destroyed evaluator.  Typically preceded by
+  /// export_blobs() to keep the warm state as serialized bytes.
+  void forget_problem(const YieldProblem* problem);
 
   // --- instrumentation (relaxed atomics; exact between flushes) ---
   /// Sessions currently held across all worker caches.
@@ -260,6 +271,10 @@ class EvalScheduler {
   std::vector<std::shared_ptr<CandidateYield>> retained_;
   std::unordered_map<std::uint64_t, int> preferred_;
 
+  /// Serializes whole job sets (flush, for_each) against blob-store
+  /// maintenance (export/import/forget) from other threads.  Always
+  /// acquired before blob_mutex_.
+  std::mutex maintenance_mutex_;
   std::mutex blob_mutex_;
   std::unordered_map<std::uint64_t, BlobEntry> blobs_;
   std::uint64_t blob_tick_ = 0;

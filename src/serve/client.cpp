@@ -1,0 +1,142 @@
+#include "src/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/error.hpp"
+
+namespace moheco::serve {
+
+namespace {
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(AF_UNIX): " + std::string(strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("connect(" + path + "): " + std::string(strerror(err)));
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(AF_INET): " + std::string(strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("connect(" + host + ":" + std::to_string(port) +
+                "): " + std::string(strerror(err)));
+  }
+  return fd;
+}
+
+bool parse_port(const std::string& text, int* port) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1 || value > 65535) {
+    return false;
+  }
+  *port = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::connect(const std::string& endpoint) {
+  close();
+  int port = 0;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    fd_ = connect_unix(endpoint.substr(5));
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      if (!parse_port(rest, &port)) {
+        throw Error("bad endpoint (want tcp:PORT or tcp:HOST:PORT): " +
+                    endpoint);
+      }
+      fd_ = connect_tcp("127.0.0.1", port);
+    } else {
+      if (!parse_port(rest.substr(colon + 1), &port)) {
+        throw Error("bad endpoint port: " + endpoint);
+      }
+      fd_ = connect_tcp(rest.substr(0, colon), port);
+    }
+  } else if (endpoint.find('/') != std::string::npos) {
+    fd_ = connect_unix(endpoint);
+  } else {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      if (!parse_port(endpoint, &port)) {
+        throw Error(
+            "bad endpoint (want a socket path, unix:PATH, tcp:PORT or "
+            "HOST:PORT): " +
+            endpoint);
+      }
+      fd_ = connect_tcp("127.0.0.1", port);
+    } else {
+      if (!parse_port(endpoint.substr(colon + 1), &port)) {
+        throw Error("bad endpoint port: " + endpoint);
+      }
+      fd_ = connect_tcp(endpoint.substr(0, colon), port);
+    }
+  }
+  reader_.emplace(fd_);
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+void ServeClient::send(const std::string& line) {
+  if (fd_ < 0) throw Error("not connected");
+  if (!send_line(fd_, line)) {
+    throw Error("daemon connection lost while sending");
+  }
+}
+
+std::optional<std::string> ServeClient::read_line() {
+  if (!reader_) return std::nullopt;
+  return reader_->next();
+}
+
+JsonValue ServeClient::request(const std::string& line) {
+  send(line);
+  std::optional<std::string> response = read_line();
+  if (!response) throw Error("daemon closed the connection");
+  std::optional<JsonValue> parsed = parse_json(*response);
+  if (!parsed) throw Error("daemon sent a malformed response: " + *response);
+  return std::move(*parsed);
+}
+
+}  // namespace moheco::serve

@@ -1,0 +1,45 @@
+// Blocking client for the moheco_d wire protocol, shared by moheco_cli
+// --connect mode, bench_serve_load and the tests.
+//
+// Endpoint grammar (one string, also what moheco_cli --connect accepts):
+//   "unix:PATH" or any string containing '/'  -> Unix-domain socket PATH
+//   "tcp:PORT" or "HOST:PORT" (numeric IPv4)  -> TCP; bare port means
+//                                                127.0.0.1 (the daemon only
+//                                                listens on loopback)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/common/json.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace moheco::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to a daemon; throws moheco::Error with the failing endpoint
+  /// on refusal/bad grammar.
+  void connect(const std::string& endpoint);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line; throws moheco::Error if the daemon is gone.
+  void send(const std::string& line);
+  /// Next response line, or nullopt once the daemon hangs up.
+  std::optional<std::string> read_line();
+  /// send() + read one parsed response; throws moheco::Error on EOF or a
+  /// response that is not valid JSON.
+  JsonValue request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::optional<LineReader> reader_;
+};
+
+}  // namespace moheco::serve

@@ -1,0 +1,77 @@
+// moheco_d wire protocol: line-delimited JSON over a stream socket.
+//
+// Every request is ONE JSON object on one line; every response is one JSON
+// object on one line.  A submit produces two response lines on the
+// submitting connection: an immediate ack ({"state":"queued"} or an
+// explicit {"state":"rejected"} when admission control refuses the job),
+// then a terminal line ({"state":"done"|"failed"|"cancelled"} with the
+// result payload) when the job leaves the shared pool.  All other ops are
+// strict request/response.  See docs/protocol.md for the full schema.
+//
+// This header holds what daemon and client share: the submit codec (the
+// exact JobSpec <-> JSON option mapping, so the CLI's --connect mode and
+// the daemon agree by construction), response builders, and blocking
+// line-framed socket IO.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/json.hpp"
+#include "src/serve/job_runner.hpp"
+
+namespace moheco::serve {
+
+/// Machine-readable error codes carried in the "code" field of ok=false
+/// responses.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrBadDeck = "bad_deck";
+inline constexpr const char* kErrRejected = "rejected";
+inline constexpr const char* kErrUnknownJob = "unknown_job";
+inline constexpr const char* kErrCancelled = "cancelled";
+inline constexpr const char* kErrInternal = "internal";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+
+/// Encodes a submit request line (no trailing newline).  `tag` is an
+/// optional client-chosen correlation id echoed in every response for the
+/// job.
+std::string encode_submit(const JobSpec& spec, const std::string& tag);
+
+/// Decodes a parsed submit request into `spec`/`tag`.  Strict: unknown
+/// option keys, bad enum values or a missing deck fail with a message in
+/// `error` (the daemon answers bad_request rather than guessing).
+bool decode_submit(const JsonValue& request, JobSpec* spec, std::string* tag,
+                   std::string* error);
+
+/// Encodes the ops with no job payload.
+std::string encode_op(const std::string& op);
+std::string encode_job_op(const std::string& op, std::uint64_t job);
+
+// --- blocking line-framed socket IO (POSIX fds) ---
+
+/// Writes `line` plus '\n' (MSG_NOSIGNAL; short writes retried).  Returns
+/// false on any error -- a vanished peer must never take the daemon down.
+bool send_line(int fd, const std::string& line);
+
+/// Buffered reader for '\n'-delimited frames.  Lines longer than
+/// `max_line` bytes abort the stream (next() returns nullopt), bounding
+/// per-connection memory against hostile input.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line = 64u << 20)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// Next complete line (without the '\n'), or nullopt on EOF/error/
+  /// oversized line.
+  std::optional<std::string> next();
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< prefix of buffer_ known to hold no '\n'
+  bool broken_ = false;
+};
+
+}  // namespace moheco::serve

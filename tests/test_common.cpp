@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/common/json.hpp"
 #include "src/common/options.hpp"
 #include "src/common/results_cache.hpp"
 #include "src/common/table.hpp"
@@ -97,6 +98,34 @@ TEST(ResultsCache, StoreIsAtomicAndLeavesNoTempFiles) {
     EXPECT_EQ(entry.path().extension(), ".txt") << entry.path();
   }
   EXPECT_EQ(files, 1u);
+}
+
+// --- JsonValue raw-slice + member-order capture ---------------------------
+// The serving protocol relays result objects byte-identically: the client
+// re-emits a parsed container via raw() (the exact source slice) and
+// renders text reports in the writer's field order via member_names().
+
+TEST(Json, RawReturnsTheExactSourceSlice) {
+  // Deliberately odd spacing and lexeme-sensitive numbers: any re-
+  // serialization would normalize them and break the byte-identity gate.
+  const std::string text =
+      "{\"a\": 1.50,\"nested\": { \"x\" :[1, 2.0,3e0] } , \"z\":\"s\"}";
+  const std::optional<JsonValue> parsed = parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->raw(), text);
+  EXPECT_EQ((*parsed)["nested"].raw(), "{ \"x\" :[1, 2.0,3e0] }");
+  EXPECT_EQ((*parsed)["nested"]["x"].raw(), "[1, 2.0,3e0]");
+}
+
+TEST(Json, MemberNamesPreserveInsertionOrder) {
+  const std::optional<JsonValue> parsed =
+      parse_json("{\"w2\":1,\"l1\":2,\"a\":3,\"w1\":4,\"a\":5}");
+  ASSERT_TRUE(parsed.has_value());
+  // Source order, not sorted -- and the duplicate key appears once (last
+  // value wins, first position wins).
+  const std::vector<std::string> want = {"w2", "l1", "a", "w1"};
+  EXPECT_EQ(parsed->member_names(), want);
+  EXPECT_EQ((*parsed)["a"].as_int(), 5);
 }
 
 }  // namespace

@@ -696,6 +696,118 @@ TEST(EvalScheduler, ForeignBlobsAreRejected) {
             problem.open(xb)->evaluate(xi_fail).pass);
 }
 
+TEST(EvalScheduler, ExportBlobsFromAnotherThreadDuringFlush) {
+  // The serving daemon persists warm state by snapshotting the blob store
+  // from its dispatcher thread while pool workers may still be draining a
+  // job set.  export_blobs() serializes against flush() on the maintenance
+  // mutex, so hammering it concurrently must neither crash (the sanitize
+  // CI job watches this test) nor perturb the tallies, and every snapshot
+  // it returns must be internally consistent -- no torn blobs.
+  auto run = [](bool concurrent_export) {
+    BlobProblem problem;
+    ThreadPool pool(4);
+    SchedulerOptions options;
+    options.sessions_per_worker = 1;  // constant evictions -> blob churn
+    options.warm_start_blobs = 32;
+    EvalScheduler scheduler(pool, options);
+    SimCounter sims;
+    std::vector<std::unique_ptr<CandidateYield>> owners;
+    for (int i = 0; i < 8; ++i) {
+      owners.push_back(std::make_unique<CandidateYield>(
+          problem, std::vector<double>{0.2 * i - 0.7},
+          stats::derive_seed(77, static_cast<std::uint64_t>(i))));
+    }
+    std::atomic<bool> done{false};
+    std::atomic<long long> snapshots{0};
+    std::thread exporter;
+    if (concurrent_export) {
+      exporter = std::thread([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+          const ResultMap snap = scheduler.export_blobs();
+          for (const auto& [key, blob] : snap) {
+            EXPECT_EQ(blob.size(), 3u) << "torn blob under key " << key;
+            if (blob.size() == 3) EXPECT_EQ(blob[0], 1.0);
+          }
+          snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (int round = 0; round < 20; ++round) {
+      for (auto& c : owners) scheduler.enqueue(*c, 40, McOptions{});
+      scheduler.flush(sims);
+    }
+    done.store(true);
+    if (exporter.joinable()) exporter.join();
+    if (concurrent_export) EXPECT_GT(snapshots.load(), 0);
+    return snapshot(owners);
+  };
+
+  const auto quiet = run(false);
+  const auto hammered = run(true);
+  EXPECT_EQ(quiet, hammered);
+}
+
+TEST(EvalScheduler, CorruptedBlobImportFallsBackCold) {
+  // A restarted daemon may hand import_blobs() a snapshot that was
+  // truncated on disk or written by a different build.  Unparseable
+  // entries are skipped at import; parseable-but-bogus blobs must be
+  // rejected by open_warm() and fall back to cold opens, with tallies
+  // identical to a never-warmed run.
+  SchedulerOptions options;
+  options.sessions_per_worker = 1;
+  options.warm_start_blobs = 8;
+
+  BlobProblem donor;
+  ResultMap snap;
+  {
+    ThreadPool pool(1);
+    EvalScheduler scheduler(pool, options);
+    SimCounter sims;
+    CandidateYield a(donor, {0.3}, 11);
+    CandidateYield b(donor, {-0.4}, 12);
+    scheduler.refine(a, 50, sims, McOptions{});
+    scheduler.refine(b, 50, sims, McOptions{});
+    snap = scheduler.export_blobs();
+  }
+  ASSERT_EQ(snap.size(), 2u);
+  // Corrupt it: truncate one blob, flip the other's magic, and add the
+  // kinds of garbage a half-written ResultsCache file could yield.
+  auto it = snap.begin();
+  it->second = {1.0};        // truncated: wrong blob size
+  (++it)->second[0] = 2.0;   // wrong magic for this problem
+  snap["not-a-design-hash"] = {1.0, 0.0, 0.0};  // foreign key: skipped
+  snap["123456"] = {};                          // empty blob: skipped
+
+  BlobProblem fresh;
+  ThreadPool pool(1);
+  EvalScheduler scheduler(pool, options);
+  // Both corrupt-but-parseable blobs import; the junk rows do not.
+  EXPECT_EQ(scheduler.import_blobs(fresh, snap), 2u);
+  SimCounter sims;
+  CandidateYield a(fresh, {0.3}, 11);
+  CandidateYield b(fresh, {-0.4}, 12);
+  scheduler.refine(a, 50, sims, McOptions{});
+  scheduler.refine(b, 50, sims, McOptions{});
+  // open_warm() saw both corrupt blobs, trusted neither, and opened cold.
+  EXPECT_EQ(fresh.warm(), 0);
+  EXPECT_EQ(fresh.rejected(), 2);
+  EXPECT_EQ(fresh.cold(), 2);
+
+  // Cold reference run: identical tallies.
+  BlobProblem reference;
+  ThreadPool ref_pool(1);
+  EvalScheduler ref_scheduler(ref_pool, options);
+  SimCounter ref_sims;
+  CandidateYield ra(reference, {0.3}, 11);
+  CandidateYield rb(reference, {-0.4}, 12);
+  ref_scheduler.refine(ra, 50, ref_sims, McOptions{});
+  ref_scheduler.refine(rb, 50, ref_sims, McOptions{});
+  EXPECT_EQ(a.samples(), ra.samples());
+  EXPECT_EQ(a.passes(), ra.passes());
+  EXPECT_EQ(b.samples(), rb.samples());
+  EXPECT_EQ(b.passes(), rb.passes());
+}
+
 // --- Merged job sets, retention, reference yield --------------------------
 
 TEST(EvalScheduler, MergedFlushRunsScreensAndBatchesTogether) {
