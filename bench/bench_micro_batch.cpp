@@ -1,0 +1,334 @@
+// Micro benchmark for the batched (SoA) sample kernels: the MNA warm path
+// -- slot-replay assembly, pivot-order-fixed numeric refactorization, and
+// forward/back substitution -- run K Monte-Carlo samples at a time through
+// MnaSystem's batch mode instead of one at a time.
+//
+// Workload: an RC-grid MNA system (real 2-D fill-in, ~1.6k unknowns at
+// default scale) whose edge conductances are perturbed per sample, exactly
+// like Monte-Carlo model-card perturbations perturb the amplifier systems:
+// the pattern is fixed, only slot values change.  The scalar baseline pays
+// the full symbolic traversal (index chasing, one branch per nonzero) per
+// sample; the batched path pays it once per K samples and runs the lane
+// arithmetic over contiguous SoA slices the compiler can vectorize.
+//
+// Doubles as a correctness gate, because the whole point of the batch mode
+// is that it is a pure throughput knob:
+//   - per-sample solutions must be BIT-identical to the scalar path for
+//     K in {2, 4, 8} (the all-lanes-nonzero fast path must not flip signed
+//     zeros, lanes must never mix);
+//   - EvalScheduler yield tallies over a sparse-backend circuit problem
+//     must be identical across batch widths and thread counts;
+//   - samples/sec at K=8 must be >= 2x the scalar warm path (the
+//     acceptance gate for the SoA kernels).
+// Violations exit non-zero so CI fails.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.hpp"
+#include "src/circuits/circuit_yield.hpp"
+#include "src/circuits/topology.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/table.hpp"
+#include "src/mc/candidate_yield.hpp"
+#include "src/mc/eval_scheduler.hpp"
+#include "src/spice/mna.hpp"
+#include "src/stats/rng.hpp"
+
+namespace {
+
+using namespace moheco;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// RC-grid MNA workload with per-sample conductance perturbations.  Nodes
+/// are matrix indices directly (no ground elision needed: every edge stamp
+/// is the full 4-entry stencil) and the stamp sequence is identical for
+/// every sample, as MnaSystem's slot replay requires.
+struct GridWorkload {
+  int rows = 0, cols = 0;
+  std::vector<std::pair<int, int>> edges;
+  std::size_t n = 0;
+
+  explicit GridWorkload(int r, int c) : rows(r), cols(c) {
+    n = static_cast<std::size_t>(r) * static_cast<std::size_t>(c);
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) {
+        const int node = i * c + j;
+        if (j + 1 < c) edges.push_back({node, node + 1});
+        if (i + 1 < r) edges.push_back({node, node + c});
+      }
+    }
+  }
+
+  /// Deterministic per-(sample, edge) conductance: base grid conductance
+  /// with a few-percent "process" perturbation from a cheap hash, the same
+  /// for the scalar and batched paths.
+  static double conductance(std::uint64_t sample, std::uint64_t edge) {
+    std::uint64_t z = (sample * 0x9E3779B97F4A7C15ull) ^
+                      (edge * 0xBF58476D1CE4E5B9ull) ^ 0x94D049BB133111EBull;
+    z ^= z >> 27;
+    z *= 0x2545F4914F6CDD1Dull;
+    z ^= z >> 31;
+    const double u =
+        static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+    return 1e-3 * (1.0 + 0.05 * (2.0 * u - 1.0));
+  }
+
+  /// One sample's stamp sequence (identical order every time).  The rhs is
+  /// a single corner injection, so it is almost all zeros -- which drives
+  /// the substitution kernels through their zero-skip/signed-zero paths.
+  void stamp(spice::MnaSystem<double>& sys, std::uint64_t sample) const {
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const auto [a, b] = edges[e];
+      const double g = conductance(sample, e);
+      sys.add(a, a, g);
+      sys.add(b, b, g);
+      sys.add(a, b, -g);
+      sys.add(b, a, -g);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      sys.add(static_cast<int>(i), static_cast<int>(i), 1e-9);
+    }
+    sys.rhs_add(0, 1.0);
+    sys.rhs_add(static_cast<int>(n) - 1, -0.25);
+  }
+};
+
+/// Scalar warm path: assemble (slot replay) + refactor + solve, one sample
+/// at a time.  `out` (optional) receives each sample's solution.
+double run_scalar(const GridWorkload& grid, spice::MnaSystem<double>& sys,
+                  std::uint64_t first, std::uint64_t count,
+                  std::vector<std::vector<double>>* out) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t s = first; s < first + count; ++s) {
+    sys.begin_assembly();
+    grid.stamp(sys, s);
+    sys.end_assembly();
+    std::vector<double> x = sys.rhs();
+    if (!sys.factor()) {
+      std::fprintf(stderr, "FAIL scalar factor() on sample %llu\n",
+                   static_cast<unsigned long long>(s));
+      std::exit(1);
+    }
+    sys.solve(x);
+    if (out != nullptr) out->push_back(std::move(x));
+  }
+  return seconds_since(start);
+}
+
+/// Batched warm path: K lanes per begin_batch round, same samples.
+double run_batched(const GridWorkload& grid, spice::MnaSystem<double>& sys,
+                   std::uint64_t first, std::uint64_t count, std::size_t k,
+                   std::vector<std::vector<double>>* out) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t s = first; s < first + count; s += k) {
+    const std::size_t lanes =
+        static_cast<std::size_t>(std::min<std::uint64_t>(k, first + count - s));
+    sys.begin_batch(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sys.begin_lane(l);
+      grid.stamp(sys, s + l);
+      sys.end_lane();
+    }
+    if (!sys.factor_batch()) {
+      std::fprintf(stderr, "FAIL factor_batch() at sample %llu (K=%zu)\n",
+                   static_cast<unsigned long long>(s), lanes);
+      std::exit(1);
+    }
+    std::vector<double> xb = sys.batch_rhs();
+    sys.solve_batch(xb);
+    sys.end_batch();
+    if (out != nullptr) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        std::vector<double> x(grid.n);
+        for (std::size_t i = 0; i < grid.n; ++i) x[i] = xb[i * lanes + l];
+        out->push_back(std::move(x));
+      }
+    }
+  }
+  return seconds_since(start);
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// EvalScheduler yield tallies for a sparse-backend circuit problem at one
+/// (batch width, thread count) combination.
+std::vector<long long> circuit_tallies(int batch, int workers,
+                                       int per_candidate, int rounds,
+                                       std::uint64_t seed) {
+  circuits::EvalOptions eval;
+  eval.backend = spice::SolverBackend::kSparse;
+  eval.batch = batch;
+  const circuits::CircuitYieldProblem problem(
+      circuits::make_five_transistor_ota(), eval);
+
+  ThreadPool pool(workers);
+  mc::EvalScheduler scheduler(pool, {});
+  std::vector<std::unique_ptr<mc::CandidateYield>> candidates;
+  const std::size_t nvars = problem.num_design_vars();
+  for (int c = 0; c < 3; ++c) {
+    std::vector<double> x(nvars);
+    const double t = 0.35 + 0.15 * c;
+    for (std::size_t i = 0; i < nvars; ++i) {
+      x[i] = problem.lower_bound(i) +
+             t * (problem.upper_bound(i) - problem.lower_bound(i));
+    }
+    candidates.push_back(std::make_unique<mc::CandidateYield>(
+        problem, x,
+        stats::derive_seed(seed, 0xBA7C, static_cast<std::uint64_t>(c))));
+  }
+  mc::SimCounter sims;
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& c : candidates) {
+      scheduler.enqueue(*c, per_candidate, mc::McOptions{});
+    }
+    scheduler.flush(sims, mc::SimPhase::kOcba);
+  }
+  std::vector<long long> tallies;
+  for (const auto& c : candidates) tallies.push_back(c->passes());
+  return tallies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = bench::bench_prologue(
+      argc, argv,
+      "Micro: batched SoA sample kernels (assemble+refactor+solve K lanes "
+      "at once) vs the scalar warm path");
+  const bool smoke = options.scale == BenchScale::kSmoke;
+
+  const int grid_side = smoke ? 24 : 40;
+  const GridWorkload grid(grid_side, grid_side);
+  const std::uint64_t identity_samples = smoke ? 24 : 48;
+  const std::uint64_t timing_samples = smoke ? 48 : 160;
+  const int timing_reps = smoke ? 2 : 3;
+
+  spice::MnaSystem<double> sys;
+  sys.reset(grid.n, spice::SolverBackend::kSparse);
+  // Capture the pattern and the symbolic analysis (one cold factorization);
+  // everything after this is the warm path both modes share.
+  run_scalar(grid, sys, /*first=*/0, /*count=*/1, nullptr);
+
+  bool ok = true;
+
+  // --- Gate 1: bitwise per-sample identity, K in {2, 4, 8}. ---
+  std::vector<std::vector<double>> scalar_solutions;
+  run_scalar(grid, sys, 1, identity_samples, &scalar_solutions);
+  for (std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    std::vector<std::vector<double>> batched_solutions;
+    run_batched(grid, sys, 1, identity_samples, k, &batched_solutions);
+    for (std::uint64_t s = 0; s < identity_samples; ++s) {
+      if (!bitwise_equal(scalar_solutions[s], batched_solutions[s])) {
+        std::fprintf(stderr,
+                     "FAIL K=%zu: sample %llu solution differs bitwise from "
+                     "the scalar path\n",
+                     k, static_cast<unsigned long long>(s));
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  // --- Gate 2: >= 2x samples/sec at K=8 vs the scalar warm path. ---
+  Table table({"path", "samples/s", "speedup"});
+  double scalar_sps = 0.0;
+  {
+    double best = 1e300;
+    for (int rep = 0; rep < timing_reps; ++rep) {
+      best = std::min(best,
+                      run_scalar(grid, sys, 1000, timing_samples, nullptr));
+    }
+    scalar_sps = static_cast<double>(timing_samples) / best;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", scalar_sps);
+  table.add_row({"scalar (K=1)", buf, "1.0x"});
+  std::string json_rows;
+  {
+    char row[160];
+    std::snprintf(row, sizeof(row), "{\"k\":1,\"sps\":%.1f,\"speedup\":1.0}",
+                  scalar_sps);
+    json_rows += row;
+  }
+  double k8_speedup = 0.0;
+  for (std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    double best = 1e300;
+    for (int rep = 0; rep < timing_reps; ++rep) {
+      best = std::min(best,
+                      run_batched(grid, sys, 1000, timing_samples, k, nullptr));
+    }
+    const double sps = static_cast<double>(timing_samples) / best;
+    const double speedup = sps / scalar_sps;
+    if (k == 8) k8_speedup = speedup;
+    char sp[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", sps);
+    std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+    table.add_row({"batched K=" + std::to_string(k), buf, sp});
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  ",{\"k\":%zu,\"sps\":%.1f,\"speedup\":%.2f}", k, sps,
+                  speedup);
+    json_rows += row;
+  }
+  if (k8_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL batched K=8 speedup %.2fx < 2x over the scalar warm "
+                 "path\n",
+                 k8_speedup);
+    ok = false;
+  }
+  table.print(std::cout, "RC-grid " + std::to_string(grid_side) + "x" +
+                             std::to_string(grid_side) +
+                             " warm path (assemble+refactor+solve, n=" +
+                             std::to_string(grid.n) + ")");
+
+  // --- Gate 3: scheduler tally identity across batch widths and thread
+  // counts on a real sparse-backend circuit problem. ---
+  const int per_candidate = smoke ? 24 : 60;
+  const int rounds = 2;
+  bool tallies_ok = true;
+  const std::vector<long long> reference =
+      circuit_tallies(/*batch=*/1, /*workers=*/1, per_candidate, rounds,
+                      options.seed);
+  for (int batch : {2, 8}) {
+    for (int workers : {1, 4}) {
+      const std::vector<long long> tallies =
+          circuit_tallies(batch, workers, per_candidate, rounds, options.seed);
+      if (tallies != reference) {
+        std::fprintf(stderr,
+                     "FAIL circuit tallies at batch=%d workers=%d differ "
+                     "from scalar single-thread reference\n",
+                     batch, workers);
+        tallies_ok = false;
+      }
+    }
+  }
+  ok = ok && tallies_ok;
+  std::cout << "gates: bitwise per-sample identity (K=2/4/8), >=2x "
+               "samples/sec at K=8, scheduler tallies independent of batch "
+               "width and thread count ("
+            << (tallies_ok ? "ok" : "FAIL") << ")\n";
+
+  if (!bench::write_bench_json(
+          options.json, "bench_micro_batch",
+          "\"grid_n\":" + std::to_string(grid.n) + ",\"widths\":[" +
+              json_rows + "],\"k8_speedup\":" +
+              std::to_string(k8_speedup) + ",\"tally_identical\":" +
+              (tallies_ok ? std::string("true") : std::string("false")))) {
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

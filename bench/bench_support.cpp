@@ -56,6 +56,7 @@ core::MohecoOptions base_options(const BenchOptions& bench) {
 circuits::EvalOptions eval_options(const BenchOptions& bench) {
   circuits::EvalOptions options;
   options.transient = bench.transient;
+  options.batch = bench.batch;
   return options;
 }
 

@@ -36,21 +36,38 @@
 
 namespace moheco::circuits {
 
-/// Evaluation controls shared by every Session of one evaluator.
-struct EvalOptions {
+/// Core evaluation configuration: the one knob set shared by the CLI, the
+/// daemon, the benches and the problem layers.  Entry points build a single
+/// EvalConfig from their flags and thread it unchanged through
+/// EvalOptions / MohecoOptions to every evaluation site, replacing the
+/// loose (bool transient, SolverBackend) parameter scatter.
+struct EvalConfig {
   /// Also build the step-buffer testbench and run a transient per
   /// evaluation, filling Performance::slew_rate / settling_time.  Off by
   /// default: a transient costs ~100x a DC+AC evaluation, so yield flows
   /// opt in explicitly.
   bool transient = false;
-  /// Transient solver controls; t_stop is overridden per topology by its
-  /// StepStimulus horizon.
-  spice::TranOptions tran;
   /// Linear-solve backend for all of a Session's solvers.  Perturbing model
   /// cards never changes the MNA pattern, so on the sparse backend one
   /// symbolic analysis per solver serves every process sample the Session
   /// evaluates.
   spice::SolverBackend backend = spice::SolverBackend::kAuto;
+  /// Monte-Carlo batch width K: the scheduler hands each worker K-sample
+  /// blocks of one candidate and Sessions evaluate them through the SoA
+  /// batched solvers (Session::evaluate_batch).  1 (the default) keeps the
+  /// scalar per-sample path; any width produces bit-identical per-sample
+  /// results, so tallies are independent of K.  Only the sparse backend
+  /// actually batches -- dense/auto-resolved-dense sessions fall back to
+  /// the scalar loop internally.
+  int batch = 1;
+};
+
+/// Evaluation controls shared by every Session of one evaluator: the common
+/// EvalConfig plus the solver sub-options only the evaluator consumes.
+struct EvalOptions : EvalConfig {
+  /// Transient solver controls; t_stop is overridden per topology by its
+  /// StepStimulus horizon.
+  spice::TranOptions tran;
 };
 
 class AmplifierEvaluator {
@@ -76,6 +93,24 @@ class AmplifierEvaluator {
     /// point.  `xi` must otherwise have process().dim() entries.
     Performance evaluate(std::span<const double> xi);
 
+    /// Evaluates `lanes` process samples at once.  `xis` holds the samples
+    /// contiguously lane-major (sample l occupies
+    /// [l * process().dim(), (l + 1) * process().dim())) and `out` receives
+    /// one Performance per lane.
+    ///
+    /// On the sparse backend (with the nominal state in place) the lanes
+    /// run through the batched SoA solvers: one lockstep Newton DC solve,
+    /// then a lockstep AC gain-bandwidth search where finished lanes freeze
+    /// while the rest keep probing, then the per-lane transients.  Results
+    /// are bit-identical to calling evaluate() on each lane in order -- any
+    /// lane that leaves the shared warm path (pivot breakdown,
+    /// non-convergence) demotes the whole batch to exactly that scalar
+    /// loop.  Dense-backend sessions and warm-blob-revived sessions whose
+    /// solvers have not yet captured a pattern use the scalar loop
+    /// directly.
+    void evaluate_batch(std::span<const double> xis, std::size_t lanes,
+                        std::span<Performance> out);
+
     /// The nominal-point performance (computed on construction).
     const Performance& nominal() const { return nominal_perf_; }
 
@@ -90,6 +125,11 @@ class AmplifierEvaluator {
     bool restore_warm_start(std::span<const double> blob);
     Performance measure(bool is_nominal);
     Performance measure_small_signal(bool is_nominal);
+    /// The AC leg of measure_small_signal: A0 / GBW / phase margin at
+    /// operating point `op` (shared by the scalar path and the batched
+    /// path's scalar fallback).
+    void measure_ac(bool is_nominal, const spice::OperatingPoint& op,
+                    Performance* perf);
     void measure_transient(bool is_nominal, Performance* perf);
     void apply_process(std::span<const double> xi);
 

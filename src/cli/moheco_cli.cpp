@@ -80,6 +80,8 @@ void print_usage() {
                "  --transient           step-bench transient per sample (deck needs\n"
                "                        a .probe step card)\n"
                "  --backend=dense|sparse|auto\n"
+               "  --batch=K             evaluate K MC samples per solver batch\n"
+               "                        (SoA kernels; tallies identical at any K)\n"
                "\n"
                "outputs:\n"
                "  --json=PATH           machine-readable results\n"
@@ -186,6 +188,12 @@ CliOptions parse_cli(int argc, char** argv) {
         cli.eval.backend = spice::SolverBackend::kAuto;
       } else {
         throw InvalidArgument("moheco_cli: unknown backend in '" + arg + "'");
+      }
+    } else if (key == "--batch") {
+      cli.eval.batch = need_int32(arg, value);
+      if (cli.eval.batch < 1) {
+        throw InvalidArgument("moheco_cli: batch must be at least 1 in '" +
+                              arg + "'");
       }
     } else if (key == "--json") {
       cli.json_path = value;

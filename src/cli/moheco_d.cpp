@@ -45,6 +45,8 @@ void print_usage() {
                "                        (ResultsCache path)\n"
                "  --result-cache=N      in-memory result entries (default 256)\n"
                "  --warm-cache=N        in-memory warm-blob entries (default 64)\n"
+               "  --batch=K             evaluation batch width for jobs that do not\n"
+               "                        set options.batch themselves (default 1)\n"
                "  --log=LEVEL           debug|info|warn|error|off (default warn)\n");
 }
 
@@ -112,6 +114,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.warm_cache_entries = static_cast<std::size_t>(parsed);
+    } else if (key == "--batch") {
+      if (!parse_int_flag(value, &parsed) || parsed < 1) {
+        std::fprintf(stderr, "moheco_d: bad batch width in '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+      options.default_batch = parsed;
     } else if (key == "--log") {
       try {
         set_log_level(parse_log_level(value));

@@ -62,6 +62,10 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   if (const char* env = std::getenv("MOHECO_TRANSIENT")) {
     options.transient = std::string_view(env) != "0";
   }
+  if (const char* env = std::getenv("MOHECO_BATCH")) {
+    options.batch = static_cast<int>(std::strtol(env, nullptr, 10));
+    require(options.batch > 0, "MOHECO_BATCH must be positive");
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -81,6 +85,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.threads = std::atoi(std::string(value).c_str());
     } else if (consume(arg, "--json=", &value)) {
       options.json = std::string(value);
+    } else if (consume(arg, "--batch=", &value)) {
+      options.batch = std::atoi(std::string(value).c_str());
+      require(options.batch > 0, "--batch must be positive");
     } else if (arg == "--transient") {
       options.transient = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -90,7 +97,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       // Benches print their own usage; rethrow as a sentinel.
       throw InvalidArgument(
           "usage: [--scale=smoke|default|full] [--runs=N] [--ref=N] "
-          "[--seed=N] [--threads=N] [--json=PATH] [--transient] [--verbose]");
+          "[--seed=N] [--threads=N] [--json=PATH] [--batch=K] [--transient] "
+          "[--verbose]");
     } else {
       throw InvalidArgument("unknown argument: " + std::string(arg));
     }
@@ -107,6 +115,7 @@ std::string describe(const BenchOptions& options) {
       << " runs=" << options.runs << " ref-mc=" << options.reference_samples
       << " seed=" << options.seed;
   if (options.transient) oss << " transient=on";
+  if (options.batch > 1) oss << " batch=" << options.batch;
   return oss.str();
 }
 

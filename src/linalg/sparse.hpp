@@ -30,6 +30,9 @@ namespace moheco::linalg {
 template <typename Scalar>
 class SparseMatrix;
 
+template <typename Scalar>
+class SparseLuBatch;
+
 /// Collects (row, col) stamp positions for a square pattern.  Duplicate
 /// positions are allowed (they merge into one slot at finalize time), so a
 /// stamping loop can record its natural add sequence and later replay the
@@ -161,9 +164,70 @@ class SparseLuSolver {
   std::vector<Scalar> x_;
   std::vector<int> flag_, stack_, child_, topo_;
   mutable std::vector<Scalar> y_, work_;
+
+  friend class SparseLuBatch<Scalar>;
 };
 
 extern template class SparseLuSolver<double>;
 extern template class SparseLuSolver<std::complex<double>>;
+
+/// Batched (structure-of-arrays) numeric companion to SparseLuSolver: one
+/// symbolic analysis, K value lanes factored and solved at once.
+///
+/// Values and right-hand sides are laid out SoA -- `v[slot * lanes + lane]`
+/// -- so every elimination step walks the host's recorded structures once
+/// and applies the identical per-step arithmetic to K contiguous lanes,
+/// which portable compilers auto-vectorize (and a MOHECO_SIMD build turns
+/// into native vector code).  Lane arithmetic never mixes, the pivot order
+/// is the host's recorded sequence, and the x == 0 update-skips of the
+/// scalar kernels are preserved (an all-lanes-nonzero fast path keeps the
+/// vector loop branch-free; mixed lanes fall back to per-lane skips so even
+/// signed zeros match).  Each lane's factors and solution are therefore
+/// bit-identical to a scalar refactor()+solve() of that lane's values.
+///
+/// Breakdown is all-or-nothing: if ANY lane's replayed pivot degrades,
+/// refactor() returns false and leaves the host untouched, so the caller
+/// can replay every lane through the scalar path sequentially -- exactly
+/// reproducing the scalar evaluation-order semantics (including the fresh
+/// fully-pivoted factor() the breakdown lane would have triggered).
+template <typename Scalar>
+class SparseLuBatch {
+ public:
+  /// Numeric refactorization of `lanes` value lanes against `host`'s cached
+  /// symbolic analysis (`host.analyzed()` must hold; the pattern comes from
+  /// `a`).  `soa_values` holds a.nnz() * lanes entries, slot-major.
+  /// Returns false -- without touching `host` or keeping any factorization
+  /// -- when the host has no analysis or any lane hits pivot breakdown.
+  bool refactor(const SparseLuSolver<Scalar>& host, const SparseMatrix<Scalar>& a,
+                const std::vector<Scalar>& soa_values, std::size_t lanes);
+
+  /// Solves all lanes of the last successful refactor(); `b` is SoA
+  /// (`b[i * lanes + lane]`) and is overwritten with the solutions.
+  void solve(std::vector<Scalar>& b) const;
+
+  std::size_t lanes() const { return lanes_; }
+
+ private:
+  // The kernels are compiled once per common lane count (KC in {1, 2, 4, 8};
+  // KC == 0 is the any-width fallback) so the per-lane inner loops have
+  // compile-time trip counts the auto-vectorizer can unroll fully.
+  template <std::size_t KC>
+  bool refactor_impl(const SparseLuSolver<Scalar>& host,
+                     const SparseMatrix<Scalar>& a,
+                     const std::vector<Scalar>& soa_values, std::size_t lanes);
+  template <std::size_t KC>
+  void solve_impl(std::vector<Scalar>& b) const;
+
+  const SparseLuSolver<Scalar>* host_ = nullptr;
+  std::size_t lanes_ = 0;
+  // SoA numeric factors parallel to the host's symbolic arrays.
+  std::vector<Scalar> lval_, uval_, udiag_;
+  std::vector<Scalar> x_;       ///< workspace, n * lanes
+  std::vector<double> colmax_;  ///< per-lane pivot-check scratch
+  mutable std::vector<Scalar> y_, work_;
+};
+
+extern template class SparseLuBatch<double>;
+extern template class SparseLuBatch<std::complex<double>>;
 
 }  // namespace moheco::linalg

@@ -363,6 +363,15 @@ void Daemon::handle_submit(const std::shared_ptr<Connection>& conn,
     conn->send(error_response("submit", kErrBadRequest, error, tag));
     return;
   }
+  // Daemon-wide batch-width default: only when the request did not choose
+  // its own (must happen before fingerprinting, so cache keys see the
+  // effective width).
+  if (options_.default_batch > 1) {
+    const JsonValue& opts = request["options"];
+    if (!opts.is_object() || opts["batch"].is_null()) {
+      spec.eval.batch = options_.default_batch;
+    }
+  }
   if (stop_requested_.load(std::memory_order_acquire)) {
     conn->send(error_response("submit", kErrShuttingDown,
                               "daemon is shutting down", tag));

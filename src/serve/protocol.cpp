@@ -39,6 +39,7 @@ std::string encode_submit(const JobSpec& spec, const std::string& tag) {
   options.add_int("estimate_samples", spec.estimate_samples);
   options.add_bool("transient", spec.eval.transient);
   options.add_string("backend", spice::to_string(spec.eval.backend));
+  options.add_int("batch", spec.eval.batch);
   options.add_bool("sized_deck", spec.want_sized_deck);
 
   JsonObject request;
@@ -121,6 +122,12 @@ bool decode_submit(const JsonValue& request, JobSpec* spec, std::string* tag,
       if (!value.is_string() ||
           !parse_backend(value.as_string(), &spec->eval.backend)) {
         *error = "options.backend must be \"dense\", \"sparse\" or \"auto\"";
+        return false;
+      }
+    } else if (key == "batch") {
+      spec->eval.batch = static_cast<int>(value.as_int());
+      if (spec->eval.batch < 1) {
+        *error = "options.batch must be at least 1";
         return false;
       }
     } else if (key == "sized_deck") {

@@ -1,6 +1,7 @@
 #include "src/spice/mna.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/error.hpp"
 
@@ -51,6 +52,9 @@ void MnaSystem<Scalar>::reset(std::size_t n, SolverBackend backend) {
     slots_.clear();
     sparse_a_ = {};
     sparse_lu_ = {};
+    batch_lanes_ = 0;
+    batch_values_.clear();
+    batch_rhs_.clear();
   } else {
     dense_a_.reset(n, n);
   }
@@ -58,6 +62,8 @@ void MnaSystem<Scalar>::reset(std::size_t n, SolverBackend backend) {
 
 template <typename Scalar>
 void MnaSystem<Scalar>::begin_assembly() {
+  require(batch_lanes_ == 0,
+          "MnaSystem: scalar assembly inside an open batch (end_batch first)");
   std::fill(rhs_.begin(), rhs_.end(), Scalar{});
   if (!sparse_) {
     dense_a_.fill(Scalar{});
@@ -68,19 +74,19 @@ void MnaSystem<Scalar>::begin_assembly() {
 }
 
 template <typename Scalar>
-void MnaSystem<Scalar>::add(int r, int c, Scalar v) {
+void MnaSystem<Scalar>::add_cold(int r, int c, Scalar v) {
   if (!sparse_) {
     dense_a_(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
     return;
   }
-  if (!pattern_ready_) {
-    builder_.add(r, c);
-    capture_values_.push_back(v);
-    return;
-  }
-  require(cursor_ < slots_.size(),
-          "MnaSystem: stamp sequence grew beyond the captured pattern");
-  sparse_a_.value(slots_[cursor_++]) += v;
+  builder_.add(r, c);
+  capture_values_.push_back(v);
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::replay_overflow() const {
+  require(false, "MnaSystem: stamp sequence grew beyond the captured pattern");
+  std::abort();  // unreachable; require always throws on false
 }
 
 template <typename Scalar>
@@ -100,6 +106,65 @@ void MnaSystem<Scalar>::end_assembly() {
   // Slot replay only works when every assembly stamps the same sequence.
   require(cursor_ == slots_.size(),
           "MnaSystem: stamp sequence diverged from the captured pattern");
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::begin_batch(std::size_t lanes) {
+  require(batch_ready(), "MnaSystem::begin_batch: batched assembly needs the "
+                         "sparse backend with an analyzed captured pattern");
+  require(lanes > 0, "MnaSystem::begin_batch: need at least one lane");
+  batch_lanes_ = lanes;
+  batch_lane_ = 0;
+  batch_base_ = 0;
+  batch_values_.assign(sparse_a_.nnz() * lanes, Scalar{});
+  batch_rhs_.assign(n_ * lanes, Scalar{});
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::begin_lane(std::size_t lane) {
+  require(batch_lanes_ > 0 && lane < batch_lanes_,
+          "MnaSystem::begin_lane: lane out of range (begin_batch first)");
+  batch_lane_ = lane;
+  cursor_ = 0;
+  // Zero just this lane's values and rhs; other lanes keep theirs (a lane
+  // frozen mid-batch stays factorable with its last assembly).  Values are
+  // lane-major, so the lane's slice is one contiguous fill.
+  const std::size_t nnz = sparse_a_.nnz();
+  batch_base_ = lane * nnz;
+  std::fill(batch_values_.begin() + static_cast<std::ptrdiff_t>(batch_base_),
+            batch_values_.begin() + static_cast<std::ptrdiff_t>(batch_base_ + nnz),
+            Scalar{});
+  for (std::size_t i = 0; i < n_; ++i) {
+    batch_rhs_[i * batch_lanes_ + lane] = Scalar{};
+  }
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::end_lane() {
+  require(cursor_ == slots_.size(),
+          "MnaSystem: stamp sequence diverged from the captured pattern");
+}
+
+template <typename Scalar>
+bool MnaSystem<Scalar>::factor_batch() {
+  require(batch_lanes_ > 0, "MnaSystem::factor_batch: no open batch");
+  // Transpose the lane-major assembly slices into slot-major SoA lanes for
+  // the SIMD kernels (a pure permutation: per-lane values are untouched).
+  const std::size_t nnz = sparse_a_.nnz();
+  const std::size_t K = batch_lanes_;
+  batch_soa_.resize(nnz * K);
+  for (std::size_t l = 0; l < K; ++l) {
+    const Scalar* src = &batch_values_[l * nnz];
+    for (std::size_t slot = 0; slot < nnz; ++slot) {
+      batch_soa_[slot * K + l] = src[slot];
+    }
+  }
+  return batch_lu_.refactor(sparse_lu_, sparse_a_, batch_soa_, batch_lanes_);
+}
+
+template <typename Scalar>
+void MnaSystem<Scalar>::solve_batch(std::vector<Scalar>& b) const {
+  batch_lu_.solve(b);
 }
 
 template <typename Scalar>

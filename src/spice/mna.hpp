@@ -97,9 +97,29 @@ class MnaSystem {
   void begin_assembly();
   /// Adds `v` at (r, c); r and c must be valid indices (the Stamper elides
   /// ground).  During the first assembly this records the pattern; later
-  /// assemblies replay the recorded slot sequence.
-  void add(int r, int c, Scalar v);
-  void rhs_add(int r, Scalar v) { rhs_[static_cast<std::size_t>(r)] += v; }
+  /// assemblies replay the recorded slot sequence.  The replay path is the
+  /// innermost loop of every Monte-Carlo sample, so it is inlined here;
+  /// pattern capture and the dense backend take the cold out-of-line path.
+  void add(int r, int c, Scalar v) {
+    if (sparse_ && pattern_ready_) [[likely]] {
+      if (cursor_ >= slots_.size()) [[unlikely]] replay_overflow();
+      const std::uint32_t slot = slots_[cursor_++];
+      if (batch_lanes_ > 0) {
+        batch_values_[batch_base_ + slot] += v;
+      } else {
+        sparse_a_.value(slot) += v;
+      }
+      return;
+    }
+    add_cold(r, c, v);
+  }
+  void rhs_add(int r, Scalar v) {
+    if (batch_lanes_ > 0) {
+      batch_rhs_[static_cast<std::size_t>(r) * batch_lanes_ + batch_lane_] += v;
+    } else {
+      rhs_[static_cast<std::size_t>(r)] += v;
+    }
+  }
   void end_assembly();
 
   std::vector<Scalar>& rhs() { return rhs_; }
@@ -108,6 +128,57 @@ class MnaSystem {
   bool factor();
   /// Solves in place against the last successful factor().
   void solve(std::vector<Scalar>& b) const;
+
+  // --- Batched (SoA) assembly over the captured pattern -----------------
+  //
+  // K process samples of one symbolic pattern assemble and factor at once:
+  // every lane replays the identical stamp sequence into its own contiguous
+  // value slice (lane-major, so replay writes stream like the scalar path);
+  // factor_batch() transposes the slices into slot-major SoA lanes once and
+  // runs the numeric LU and the substitutions SIMD across the lanes through
+  // linalg::SparseLuBatch.  Per-lane results are bit-identical to the
+  // scalar path.  Protocol, per batch:
+  //
+  //   sys.begin_batch(K);
+  //   for each (active) lane l {
+  //     sys.begin_lane(l);
+  //     ... stamp lane l (same add()/rhs_add() sequence as scalar) ...
+  //     sys.end_lane();
+  //   }
+  //   if (!sys.factor_batch()) { sys.end_batch(); /* scalar fallback */ }
+  //   x = sys.batch_rhs();
+  //   sys.solve_batch(x);
+  //   ... (more begin_lane rounds: lanes not restamped keep their values,
+  //        which stay factorable -- they already factored last round) ...
+  //   sys.end_batch();
+  //
+  // Only the sparse backend batches; callers check batch_ready() and fall
+  // back to a scalar per-lane loop otherwise (dense systems are tiny).
+
+  /// True when batched assembly is available: sparse backend, pattern
+  /// captured and a valid symbolic analysis from a prior scalar factor().
+  bool batch_ready() const {
+    return sparse_ && pattern_ready_ && sparse_lu_.analyzed();
+  }
+  /// Opens a K-lane batched assembly (zeroes all lanes).  Requires
+  /// batch_ready().  Scalar assemblies are rejected until end_batch().
+  void begin_batch(std::size_t lanes);
+  /// Starts lane `lane`'s replay of the stamp sequence (zeroes just that
+  /// lane's values and rhs); stamps arrive via the normal add()/rhs_add().
+  void begin_lane(std::size_t lane);
+  void end_lane();
+  /// Numeric refactorization of every lane with the recorded pivot order;
+  /// false when any lane breaks down (the batch is then unusable and the
+  /// caller must replay the lanes through the scalar path in order).
+  bool factor_batch();
+  /// Solves the SoA right-hand sides (`b[i * lanes + lane]`) in place
+  /// against the last successful factor_batch().
+  void solve_batch(std::vector<Scalar>& b) const;
+  /// SoA right-hand-side vector of the current batch (size() * lanes).
+  const std::vector<Scalar>& batch_rhs() const { return batch_rhs_; }
+  std::size_t batch_lanes() const { return batch_lanes_; }
+  /// Closes the batch and returns to scalar assembly mode.
+  void end_batch() { batch_lanes_ = 0; }
 
   /// Sparse-backend diagnostics (0 on the dense backend).
   long long full_factorizations() const {
@@ -119,6 +190,10 @@ class MnaSystem {
   std::size_t pattern_nnz() const { return sparse_ ? sparse_a_.nnz() : n_ * n_; }
 
  private:
+  /// Pattern capture / dense-backend leg of add().
+  void add_cold(int r, int c, Scalar v);
+  [[noreturn]] void replay_overflow() const;
+
   std::size_t n_ = 0;
   bool sparse_ = false;
   bool pattern_ready_ = false;
@@ -135,6 +210,20 @@ class MnaSystem {
   std::size_t cursor_ = 0;
   linalg::SparseMatrix<Scalar> sparse_a_;
   linalg::SparseLuSolver<Scalar> sparse_lu_;
+
+  // Batched mode (0 lanes means scalar mode; the storage is kept across
+  // batches to avoid reallocation on the hot path).  batch_values_ holds
+  // the matrix values lane-major (`[lane * nnz + slot]`) so assembly writes
+  // are contiguous; factor_batch() transposes them into batch_soa_
+  // (`[slot * K + lane]`) for the SIMD kernels.  batch_rhs_ is SoA
+  // (`[i * K + lane]`) throughout, matching solve_batch().
+  std::size_t batch_lanes_ = 0;
+  std::size_t batch_lane_ = 0;
+  std::size_t batch_base_ = 0;
+  std::vector<Scalar> batch_values_;
+  std::vector<Scalar> batch_soa_;
+  std::vector<Scalar> batch_rhs_;
+  linalg::SparseLuBatch<Scalar> batch_lu_;
 };
 
 extern template class MnaSystem<double>;
