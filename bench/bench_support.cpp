@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "src/common/log.hpp"
+#include "src/linalg/simd_caps.hpp"
 #include "src/common/parallel.hpp"
 #include "src/mc/candidate_yield.hpp"
 #include "src/mc/eval_scheduler.hpp"
@@ -201,11 +202,25 @@ std::string json_sched_breakdown(const mc::SchedBreakdown& breakdown) {
   return buffer;
 }
 
+std::string json_simd_caps() {
+  const linalg::SimdCaps& caps = linalg::simd_caps();
+  std::string json = "{\"avx2\":";
+  json += caps.avx2 ? "true" : "false";
+  json += ",\"avx512f\":";
+  json += caps.avx512f ? "true" : "false";
+  json += ",\"max_lane_width\":" + std::to_string(caps.max_lane_width) + "}";
+  return json;
+}
+
 bool write_bench_json(const std::string& path, const std::string& bench,
                       const std::string& body) {
   if (path.empty()) return true;
   std::ofstream out(path);
-  out << "{\"" << bench << "\":{" << body << "}}\n";
+  // Every bench JSON carries the host's SIMD capability header: perf
+  // numbers are only comparable between runs whose kernels dispatched the
+  // same vector width (CI's regression gate checks this before comparing).
+  out << "{\"" << bench << "\":{\"simd\":" << json_simd_caps() << ","
+      << body << "}}\n";
   out.flush();
   if (!out) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());

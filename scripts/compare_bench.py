@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json files and fail on gated-row regressions.
+
+Used by the CI bench-perf job: the previous successful run's BENCH_micro
+artifact is the baseline, and any gated bench_micro_batch row -- the
+per-(K, kernel width) samples/sec rows behind the K=8 throughput gate,
+and the lockstep-transient speedup -- that drops more than the threshold
+against it fails the job.
+
+Rows are only comparable when both runs could dispatch the same kernel
+widths: the bench writes the host's probed capabilities into each JSON
+header ("simd": {avx2, avx512f, max_lane_width}), and when the baseline
+ran on a host with different capabilities the comparison is skipped (exit
+0 with a notice), never failed -- a fleet mixing AVX-512 and portable
+runners must not flag ISA differences as regressions.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+SECTION = "bench_micro_batch"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional drop that counts as a regression (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline).get(SECTION)
+    cur = load(args.current).get(SECTION)
+    if base is None:
+        print(f"baseline has no {SECTION} section; skipping regression check")
+        return 0
+    if cur is None:
+        print(f"current run has no {SECTION} section; nothing to check",
+              file=sys.stderr)
+        return 1
+
+    base_simd = base.get("simd")
+    cur_simd = cur.get("simd")
+    if base_simd != cur_simd:
+        print(
+            "SIMD capabilities differ between baseline and current host "
+            f"({base_simd} vs {cur_simd}); rows are not comparable -- "
+            "skipping regression check"
+        )
+        return 0
+
+    regressions = []
+
+    def check(label, old, new):
+        if old is None or new is None or old <= 0:
+            return
+        drop = 1.0 - new / old
+        marker = " REGRESSION" if drop > args.threshold else ""
+        print(f"  {label:28s} {old:10.1f} -> {new:10.1f}  "
+              f"({-drop * 100.0:+.1f}%){marker}")
+        if drop > args.threshold:
+            regressions.append(label)
+
+    print(f"gated rows, threshold {args.threshold * 100.0:.0f}% "
+          f"(baseline -> current):")
+    base_rows = {
+        (row.get("k"), row.get("kernel_width")): row.get("sps")
+        for row in base.get("widths", [])
+    }
+    for row in cur.get("widths", []):
+        key = (row.get("k"), row.get("kernel_width"))
+        if key in base_rows:
+            check(f"K={key[0]} width={key[1]} sps", base_rows[key],
+                  row.get("sps"))
+    check("transient K=8 speedup", base.get("tran_speedup"),
+          cur.get("tran_speedup"))
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} gated row(s) regressed more than "
+            f"{args.threshold * 100.0:.0f}%: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("no gated-row regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 // its process model, and a sample passes when all specs are met.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "src/circuits/evaluator.hpp"
@@ -32,9 +33,8 @@ class CircuitYieldProblem : public mc::YieldProblem {
         : session_(std::make_unique<AmplifierEvaluator::Session>(
               evaluator, x, blob)),
           specs_(specs),
-          batch_(evaluator.options().batch < 1
-                     ? 1
-                     : static_cast<std::size_t>(evaluator.options().batch)) {}
+          batch_(static_cast<std::size_t>(std::max(
+              1, EvalConfig::resolve_batch(evaluator.options().batch)))) {}
 
     mc::SampleResult evaluate(std::span<const double> xi) override;
     /// Batched evaluation through the SoA solver kernels; per-lane results

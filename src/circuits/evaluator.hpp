@@ -23,8 +23,11 @@
 // one.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/circuits/performance.hpp"
@@ -58,8 +61,28 @@ struct EvalConfig {
   /// scalar per-sample path; any width produces bit-identical per-sample
   /// results, so tallies are independent of K.  Only the sparse backend
   /// actually batches -- dense/auto-resolved-dense sessions fall back to
-  /// the scalar loop internally.
+  /// the scalar loop internally.  kBatchAuto (0) autoselects; consumers
+  /// resolve it through resolve_batch().
   int batch = 1;
+
+  /// `batch` sentinel meaning "autoselect the width for this host".
+  static constexpr int kBatchAuto = 0;
+  /// Widest width a flag may request: SoA lane storage grows linearly with
+  /// K while the kernels stop gaining well before this.
+  static constexpr int kBatchMax = 64;
+
+  /// The one batch-width range check every entry point routes through
+  /// (`moheco_cli --batch=`, `moheco_d --batch=`, daemon request
+  /// `options.batch`, bench `MOHECO_BATCH`/`--batch=`).  Returns an error
+  /// message naming `flag`, or an empty string when `batch` is valid
+  /// (kBatchAuto or 1..kBatchMax).
+  static std::string validate_batch(long long batch, std::string_view flag);
+
+  /// Maps kBatchAuto to the host's preferred width (>= 8, widened on hosts
+  /// whose runtime dispatch reports lanes wider than 8); explicit widths
+  /// pass through.  The session layer resolves at construction so the
+  /// sentinel can travel through configs, logs and cached specs unchanged.
+  static int resolve_batch(int batch);
 };
 
 /// Evaluation controls shared by every Session of one evaluator: the common
@@ -131,6 +154,14 @@ class AmplifierEvaluator {
     void measure_ac(bool is_nominal, const spice::OperatingPoint& op,
                     Performance* perf);
     void measure_transient(bool is_nominal, Performance* perf);
+    /// Batched phase-4 leg of evaluate_batch: lockstep step-DC + lockstep
+    /// batched transient over the lanes whose small-signal leg converged
+    /// (out[l].valid).  Falls back to per-lane measure_transient -- the
+    /// exact scalar semantics -- whenever the batch cannot engage or any
+    /// lane demotes it.
+    void measure_transient_batch(
+        std::size_t lanes, const std::function<void(std::size_t)>& activate,
+        std::span<Performance> out);
     void apply_process(std::span<const double> xi);
 
     const AmplifierEvaluator* parent_;

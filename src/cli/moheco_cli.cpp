@@ -81,7 +81,8 @@ void print_usage() {
                "                        a .probe step card)\n"
                "  --backend=dense|sparse|auto\n"
                "  --batch=K             evaluate K MC samples per solver batch\n"
-               "                        (SoA kernels; tallies identical at any K)\n"
+               "                        (SoA kernels; tallies identical at any\n"
+               "                        K; 0 autoselects the host width)\n"
                "\n"
                "outputs:\n"
                "  --json=PATH           machine-readable results\n"
@@ -191,9 +192,10 @@ CliOptions parse_cli(int argc, char** argv) {
       }
     } else if (key == "--batch") {
       cli.eval.batch = need_int32(arg, value);
-      if (cli.eval.batch < 1) {
-        throw InvalidArgument("moheco_cli: batch must be at least 1 in '" +
-                              arg + "'");
+      const std::string err =
+          circuits::EvalConfig::validate_batch(cli.eval.batch, "--batch");
+      if (!err.empty()) {
+        throw InvalidArgument("moheco_cli: " + err);
       }
     } else if (key == "--json") {
       cli.json_path = value;

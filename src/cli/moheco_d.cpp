@@ -16,6 +16,7 @@
 #include <string>
 #include <thread>
 
+#include "src/circuits/evaluator.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 #include "src/serve/daemon.hpp"
@@ -46,7 +47,8 @@ void print_usage() {
                "  --result-cache=N      in-memory result entries (default 256)\n"
                "  --warm-cache=N        in-memory warm-blob entries (default 64)\n"
                "  --batch=K             evaluation batch width for jobs that do not\n"
-               "                        set options.batch themselves (default 1)\n"
+               "                        set options.batch themselves (default 1;\n"
+               "                        0 autoselects the host width)\n"
                "  --log=LEVEL           debug|info|warn|error|off (default warn)\n");
 }
 
@@ -115,8 +117,14 @@ int main(int argc, char** argv) {
       }
       options.warm_cache_entries = static_cast<std::size_t>(parsed);
     } else if (key == "--batch") {
-      if (!parse_int_flag(value, &parsed) || parsed < 1) {
-        std::fprintf(stderr, "moheco_d: bad batch width in '%s'\n",
+      std::string err;
+      if (!parse_int_flag(value, &parsed)) {
+        err = "--batch must be an integer";
+      } else {
+        err = circuits::EvalConfig::validate_batch(parsed, "--batch");
+      }
+      if (!err.empty()) {
+        std::fprintf(stderr, "moheco_d: %s (in '%s')\n", err.c_str(),
                      arg.c_str());
         return 2;
       }

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "src/circuits/evaluator.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 
@@ -64,7 +65,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   }
   if (const char* env = std::getenv("MOHECO_BATCH")) {
     options.batch = static_cast<int>(std::strtol(env, nullptr, 10));
-    require(options.batch > 0, "MOHECO_BATCH must be positive");
+    const std::string err =
+        circuits::EvalConfig::validate_batch(options.batch, "MOHECO_BATCH");
+    require(err.empty(), err);
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -87,7 +90,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.json = std::string(value);
     } else if (consume(arg, "--batch=", &value)) {
       options.batch = std::atoi(std::string(value).c_str());
-      require(options.batch > 0, "--batch must be positive");
+      const std::string err =
+          circuits::EvalConfig::validate_batch(options.batch, "--batch");
+      require(err.empty(), err);
     } else if (arg == "--transient") {
       options.transient = true;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -115,7 +120,12 @@ std::string describe(const BenchOptions& options) {
       << " runs=" << options.runs << " ref-mc=" << options.reference_samples
       << " seed=" << options.seed;
   if (options.transient) oss << " transient=on";
-  if (options.batch > 1) oss << " batch=" << options.batch;
+  if (options.batch == circuits::EvalConfig::kBatchAuto) {
+    oss << " batch=auto(" << circuits::EvalConfig::resolve_batch(options.batch)
+        << ")";
+  } else if (options.batch > 1) {
+    oss << " batch=" << options.batch;
+  }
   return oss.str();
 }
 

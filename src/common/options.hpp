@@ -29,7 +29,8 @@ struct BenchOptions {
   /// settling-time specs join the yield criterion (~100x per-sample cost).
   bool transient = false;
   /// Evaluation batch width (circuits::EvalConfig::batch): K MC samples per
-  /// SoA solver batch.  Tallies are identical at any K.
+  /// SoA solver batch.  Tallies are identical at any K; 0 autoselects the
+  /// host's preferred width (EvalConfig::resolve_batch).
   int batch = 1;
   /// When non-empty, benches that support it also write their metrics as a
   /// JSON object to this path (the CI perf-tracking artifact).

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/linalg/simd_caps.hpp"
+#include "src/linalg/sparse_kernels.hpp"
+#include "src/linalg/sparse_wide.hpp"
 
 namespace moheco::linalg {
 namespace {
@@ -25,118 +30,11 @@ constexpr double kRefactorPivotTol = 1e-4;
 /// bounding analysis cost on pathological patterns.
 constexpr std::size_t kOrderingEdgeCap = 8u << 20;
 
-// --- fixed-width lane primitives for the batched (SoA) kernels -----------
-//
-// The generic templates are plain loops; KC > 0 instantiations have
-// compile-time trip counts (KC == 0 is the any-width fallback).  GCC's
-// early complete unrolling turns the constant-trip loops into straight-line
-// code that neither the loop vectorizer nor SLP reliably picks back up, so
-// the even-width double kernels are written directly against the GCC/Clang
-// vector extension.  Packed IEEE-754 arithmetic is elementwise-identical to
-// the scalar ops, so per-lane results stay bit-identical either way.
-#if defined(__GNUC__) || defined(__clang__)
-#define MOHECO_LANE_V2D 1
-// aligned(8): lane slices are only guaranteed double-aligned, so accesses
-// must not assume 16-byte alignment (movupd costs nothing when they are).
-typedef double v2d __attribute__((vector_size(16), aligned(8)));
-#endif
-
-template <std::size_t KC, typename Scalar>
-inline void lane_copy(Scalar* __restrict dst, const Scalar* __restrict src,
-                      std::size_t k) {
-  const std::size_t K = KC == 0 ? k : KC;
-  for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
-}
-
-/// dst = src, returning true when no lane is (an exact) zero.
-template <std::size_t KC, typename Scalar>
-inline bool lane_copy_nonzero(Scalar* __restrict dst,
-                              const Scalar* __restrict src, std::size_t k) {
-  const std::size_t K = KC == 0 ? k : KC;
-  bool all_nonzero = true;
-  for (std::size_t l = 0; l < K; ++l) {
-    dst[l] = src[l];
-    if (src[l] == Scalar{}) all_nonzero = false;
-  }
-  return all_nonzero;
-}
-
-/// x -= l * u over the lanes.
-template <std::size_t KC, typename Scalar>
-inline void lane_fnmadd(Scalar* __restrict x, const Scalar* __restrict lv,
-                        const Scalar* __restrict u, std::size_t k) {
-  const std::size_t K = KC == 0 ? k : KC;
-  for (std::size_t l = 0; l < K; ++l) x[l] -= lv[l] * u[l];
-}
-
-/// dst = num / den over the lanes.
-template <std::size_t KC, typename Scalar>
-inline void lane_div(Scalar* __restrict dst, const Scalar* __restrict num,
-                     const Scalar* __restrict den, std::size_t k) {
-  const std::size_t K = KC == 0 ? k : KC;
-  for (std::size_t l = 0; l < K; ++l) dst[l] = num[l] / den[l];
-}
-
-template <std::size_t KC, typename Scalar>
-inline void lane_zero(Scalar* __restrict x, std::size_t k) {
-  const std::size_t K = KC == 0 ? k : KC;
-  for (std::size_t l = 0; l < K; ++l) x[l] = Scalar{};
-}
-
-#ifdef MOHECO_LANE_V2D
-template <std::size_t KC>
-  requires(KC >= 2 && KC % 2 == 0)
-inline void lane_copy(double* __restrict dst, const double* __restrict src,
-                      std::size_t) {
-  for (std::size_t i = 0; i < KC / 2; ++i) {
-    reinterpret_cast<v2d*>(dst)[i] = reinterpret_cast<const v2d*>(src)[i];
-  }
-}
-
-template <std::size_t KC>
-  requires(KC >= 2 && KC % 2 == 0)
-inline bool lane_copy_nonzero(double* __restrict dst,
-                              const double* __restrict src, std::size_t) {
-  const v2d zero = {0.0, 0.0};
-  long long any_zero = 0;
-  for (std::size_t i = 0; i < KC / 2; ++i) {
-    const v2d v = reinterpret_cast<const v2d*>(src)[i];
-    reinterpret_cast<v2d*>(dst)[i] = v;
-    const auto eq = (v == zero);  // lane mask: all-ones where v[l] == 0.0
-    any_zero |= eq[0] | eq[1];
-  }
-  return any_zero == 0;
-}
-
-template <std::size_t KC>
-  requires(KC >= 2 && KC % 2 == 0)
-inline void lane_fnmadd(double* __restrict x, const double* __restrict lv,
-                        const double* __restrict u, std::size_t) {
-  for (std::size_t i = 0; i < KC / 2; ++i) {
-    reinterpret_cast<v2d*>(x)[i] -= reinterpret_cast<const v2d*>(lv)[i] *
-                                    reinterpret_cast<const v2d*>(u)[i];
-  }
-}
-
-template <std::size_t KC>
-  requires(KC >= 2 && KC % 2 == 0)
-inline void lane_div(double* __restrict dst, const double* __restrict num,
-                     const double* __restrict den, std::size_t) {
-  for (std::size_t i = 0; i < KC / 2; ++i) {
-    reinterpret_cast<v2d*>(dst)[i] = reinterpret_cast<const v2d*>(num)[i] /
-                                     reinterpret_cast<const v2d*>(den)[i];
-  }
-}
-
-template <std::size_t KC>
-  requires(KC >= 2 && KC % 2 == 0)
-inline void lane_zero(double* __restrict x, std::size_t) {
-  const v2d zero = {0.0, 0.0};
-  for (std::size_t i = 0; i < KC / 2; ++i) {
-    reinterpret_cast<v2d*>(x)[i] = zero;
-  }
-}
-#endif  // MOHECO_LANE_V2D
+// The batched (SoA) lane primitives and kernel bodies live in
+// sparse_kernels.hpp, shared with the ISA-specific wide translation units
+// (sparse_lanes_avx2.cpp / sparse_lanes_avx512.cpp).  This TU instantiates
+// the portable variants: scalar, any-width, and the two-wide baseline every
+// x86-64 target executes.
 
 }  // namespace
 
@@ -488,115 +386,135 @@ void SparseLuSolver<Scalar>::solve(std::vector<Scalar>& b) const {
 template class SparseLuSolver<double>;
 template class SparseLuSolver<std::complex<double>>;
 
+namespace {
+
+/// Grows `buf` to hold `count` Scalars at a 64-byte-aligned base and
+/// returns that base.  At K=8 doubles a lane row slice is exactly one
+/// cache line, so aligning the SoA workspaces keeps every indexed row
+/// access (the refactor's x scatters, the substitutions' work/y scatters,
+/// the streamed lval/uval slices) on a single line instead of straddling
+/// two.  Re-invoking on an already-big-enough buffer returns the same
+/// base, so refactor() and solve() agree on the layout.
+template <typename Scalar>
+Scalar* aligned_workspace(std::vector<Scalar>& buf, std::size_t count) {
+  constexpr std::size_t kPad = (64 + sizeof(Scalar) - 1) / sizeof(Scalar);
+  if (buf.size() < count + kPad) buf.resize(count + kPad);
+  void* p = buf.data();
+  std::size_t space = buf.size() * sizeof(Scalar);
+  return static_cast<Scalar*>(std::align(64, count * sizeof(Scalar), p, space));
+}
+
+}  // namespace
+
 template <typename Scalar>
 bool SparseLuBatch<Scalar>::refactor(const SparseLuSolver<Scalar>& host,
                                      const SparseMatrix<Scalar>& a,
                                      const std::vector<Scalar>& soa_values,
                                      std::size_t lanes) {
-  lanes_ = 0;
-  if (!host.analyzed_ || lanes == 0) return false;
-  require(a.size() == host.n_, "SparseLuBatch::refactor: size mismatch");
   require(soa_values.size() == a.nnz() * lanes,
           "SparseLuBatch::refactor: SoA value count mismatch");
-  host_ = &host;
-  switch (lanes) {
-    case 1: return refactor_impl<1>(host, a, soa_values, lanes);
-    case 2: return refactor_impl<2>(host, a, soa_values, lanes);
-    case 4: return refactor_impl<4>(host, a, soa_values, lanes);
-    case 8: return refactor_impl<8>(host, a, soa_values, lanes);
-    default: return refactor_impl<0>(host, a, soa_values, lanes);
-  }
+  return refactor_impl(host, a, soa_values.data(), lanes, 1, lanes);
 }
 
 template <typename Scalar>
-template <std::size_t KC>
+bool SparseLuBatch<Scalar>::refactor_lane_major(
+    const SparseLuSolver<Scalar>& host, const SparseMatrix<Scalar>& a,
+    const Scalar* values, std::size_t lane_stride, std::size_t lanes) {
+  require(lane_stride >= a.nnz(),
+          "SparseLuBatch::refactor_lane_major: lane stride below nnz");
+  return refactor_impl(host, a, values, 1, lane_stride, lanes);
+}
+
+template <typename Scalar>
 bool SparseLuBatch<Scalar>::refactor_impl(const SparseLuSolver<Scalar>& host,
                                           const SparseMatrix<Scalar>& a,
-                                          const std::vector<Scalar>& soa_values,
+                                          const Scalar* values,
+                                          std::size_t slot_stride,
+                                          std::size_t lane_stride,
                                           std::size_t lanes) {
+  lanes_ = 0;
+  if (!host.analyzed_ || lanes == 0) return false;
+  require(a.size() == host.n_, "SparseLuBatch::refactor: size mismatch");
+  host_ = &host;
+
   const std::size_t n = host.n_;
-  const std::size_t K = KC == 0 ? lanes : KC;
-  lval_.resize(host.lval_.size() * K);
-  uval_.resize(host.uval_.size() * K);
-  udiag_.resize(n * K);
-  x_.assign(n * K, Scalar{});
-
-  const auto& cp = a.col_ptr();
-  const auto& ri = a.row_idx();
-  const int ni = static_cast<int>(n);
-
-  for (int k = 0; k < ni; ++k) {
-    const int col = host.q_[k];
-    for (int p = cp[col]; p < cp[col + 1]; ++p) {
-      lane_copy<KC>(&x_[static_cast<std::size_t>(ri[p]) * K],
-                    &soa_values[static_cast<std::size_t>(p) * K], K);
-    }
-    for (int p = host.uptr_[k]; p < host.uptr_[k + 1]; ++p) {
-      const int j = host.uidx_[p];
-      const Scalar* __restrict xj = &x_[static_cast<std::size_t>(host.prow_[j]) * K];
-      Scalar* __restrict uv = &uval_[static_cast<std::size_t>(p) * K];
-      if (lane_copy_nonzero<KC>(uv, xj, K)) {
-        // Vector path over the lanes; `uv` is a private copy of xj, so the
-        // update loop has no aliasing hazard against the x_ scatters.
-        for (int s = host.lptr_[j]; s < host.lptr_[j + 1]; ++s) {
-          lane_fnmadd<KC>(&x_[static_cast<std::size_t>(host.lrow_[s]) * K],
-                          &lval_[static_cast<std::size_t>(s) * K], uv, K);
-        }
-      } else {
-        // A zero lane must SKIP its updates exactly like the scalar kernel
-        // (an unconditional x -= 0 * l can flip the sign of a signed zero).
-        for (std::size_t l = 0; l < K; ++l) {
-          const Scalar xjl = uv[l];
-          if (xjl == Scalar{}) continue;
-          for (int s = host.lptr_[j]; s < host.lptr_[j + 1]; ++s) {
-            x_[static_cast<std::size_t>(host.lrow_[s]) * K + l] -=
-                lval_[static_cast<std::size_t>(s) * K + l] * xjl;
-          }
-        }
-      }
-    }
-    const int prow = host.prow_[k];
-    const Scalar* __restrict pv = &x_[static_cast<std::size_t>(prow) * K];
-    // Column-magnitude maxima, lane-inner so the pass over the column is
-    // contiguous.  Per lane this visits the same entries in the same order
-    // as the scalar kernel, so the maxima (incl. NaN propagation) match.
-    colmax_.resize(K);
-    double* __restrict cm = colmax_.data();
-    for (std::size_t l = 0; l < K; ++l) cm[l] = magnitude(pv[l]);
-    for (int s = host.lptr_[k]; s < host.lptr_[k + 1]; ++s) {
-      const Scalar* __restrict xr =
-          &x_[static_cast<std::size_t>(host.lrow_[s]) * K];
-      for (std::size_t l = 0; l < K; ++l) {
-        cm[l] = std::max(cm[l], magnitude(xr[l]));
-      }
-    }
-    for (std::size_t l = 0; l < K; ++l) {
-      const Scalar piv = pv[l];
-      if (!std::isfinite(cm[l]) || !(magnitude(piv) > 0.0) ||
-          magnitude(piv) < kRefactorPivotTol * cm[l]) {
-        // Any lane breaking down invalidates the whole batch: the scalar
-        // path would re-pivot here, changing the factors every later lane
-        // replays, so the caller must rerun all lanes sequentially.
-        return false;
-      }
-      udiag_[static_cast<std::size_t>(k) * K + l] = piv;
-    }
-    const Scalar* __restrict dk = &udiag_[static_cast<std::size_t>(k) * K];
-    for (int s = host.lptr_[k]; s < host.lptr_[k + 1]; ++s) {
-      lane_div<KC>(&lval_[static_cast<std::size_t>(s) * K],
-                   &x_[static_cast<std::size_t>(host.lrow_[s]) * K], dk, K);
-    }
-    // Restore the all-zero workspace invariant over this column's pattern.
-    for (int p = host.uptr_[k]; p < host.uptr_[k + 1]; ++p) {
-      lane_zero<KC>(&x_[static_cast<std::size_t>(host.prow_[host.uidx_[p]]) * K], K);
-    }
-    lane_zero<KC>(&x_[static_cast<std::size_t>(prow) * K], K);
-    for (int s = host.lptr_[k]; s < host.lptr_[k + 1]; ++s) {
-      lane_zero<KC>(&x_[static_cast<std::size_t>(host.lrow_[s]) * K], K);
-    }
+  lbase_ = aligned_workspace(lval_, host.lval_.size() * lanes);
+  ubase_ = aligned_workspace(uval_, host.uval_.size() * lanes);
+  dbase_ = aligned_workspace(udiag_, n * lanes);
+  // The kernels restore x to all-zero as they retire each column, so a
+  // successful refactor leaves the workspace clean for the next one; only a
+  // grow or a breakdown abort (which bails mid-column) forces a re-zero
+  // (the whole buffer, so narrower batches after an aborted wide one stay
+  // covered).
+  constexpr std::size_t kXPad = (64 + sizeof(Scalar) - 1) / sizeof(Scalar);
+  if (x_.size() < n * lanes + kXPad) {
+    x_.assign(n * lanes + kXPad, Scalar{});
+  } else if (x_dirty_) {
+    std::fill(x_.begin(), x_.end(), Scalar{});
   }
-  lanes_ = K;
-  return true;
+  colmax_.resize(lanes);
+
+  detail::BatchIo<Scalar> io;
+  io.n = n;
+  io.q = host.q_.data();
+  io.prow = host.prow_.data();
+  io.lptr = host.lptr_.data();
+  io.lrow = host.lrow_.data();
+  io.uptr = host.uptr_.data();
+  io.uidx = host.uidx_.data();
+  io.col_ptr = a.col_ptr().data();
+  io.row_idx = a.row_idx().data();
+  io.soa_values = values;
+  io.soa_slot_stride = slot_stride;
+  io.soa_lane_stride = lane_stride;
+  io.lval = lbase_;
+  io.uval = ubase_;
+  io.udiag = dbase_;
+  io.x = aligned_workspace(x_, n * lanes);
+  io.colmax = colmax_.data();
+
+  // Runtime kernel dispatch: lane counts 4/8 route to the wide TUs when the
+  // host executes their ISA (simd_caps()); everything else takes the
+  // portable compile-time-KC kernels below.  Every choice is bit-identical
+  // per lane -- only throughput differs.
+  kernel_width_ = simd_dispatch_width(lanes);
+  bool ok = false;
+  switch (lanes) {
+    case 1:
+      ok = detail::batch_refactor_kernel<1, 1>(io, lanes);
+      break;
+    case 2:
+      ok = detail::batch_refactor_kernel<2, 2>(io, lanes);
+      break;
+    case 4:
+#ifdef MOHECO_WIDE_LANES
+      if (kernel_width_ >= 4) {
+        ok = wide::refactor_k4_avx2(io);
+        break;
+      }
+#endif
+      ok = detail::batch_refactor_kernel<4, 2>(io, lanes);
+      break;
+    case 8:
+#ifdef MOHECO_WIDE_LANES
+      if (kernel_width_ >= 8) {
+        ok = wide::refactor_k8_avx512(io);
+        break;
+      }
+      if (kernel_width_ >= 4) {
+        ok = wide::refactor_k8_avx2(io);
+        break;
+      }
+#endif
+      ok = detail::batch_refactor_kernel<8, 2>(io, lanes);
+      break;
+    default:
+      ok = detail::batch_refactor_kernel<0, 1>(io, lanes);
+      break;
+  }
+  x_dirty_ = !ok;
+  if (ok) lanes_ = lanes;
+  return ok;
 }
 
 template <typename Scalar>
@@ -604,70 +522,60 @@ void SparseLuBatch<Scalar>::solve(std::vector<Scalar>& b) const {
   require(lanes_ > 0, "SparseLuBatch::solve: no valid factorization");
   require(b.size() == host_->n_ * lanes_,
           "SparseLuBatch::solve: dimension mismatch");
-  switch (lanes_) {
-    case 1: solve_impl<1>(b); return;
-    case 2: solve_impl<2>(b); return;
-    case 4: solve_impl<4>(b); return;
-    case 8: solve_impl<8>(b); return;
-    default: solve_impl<0>(b); return;
-  }
-}
-
-template <typename Scalar>
-template <std::size_t KC>
-void SparseLuBatch<Scalar>::solve_impl(std::vector<Scalar>& b) const {
   const SparseLuSolver<Scalar>& host = *host_;
-  const std::size_t n = host.n_;
-  const std::size_t K = KC == 0 ? lanes_ : KC;
-  work_ = b;
-  y_.resize(n * K);
-  // Forward: L z = P b per lane, column-oriented over original row indices.
-  for (std::size_t k = 0; k < n; ++k) {
-    const Scalar* __restrict zk = &work_[static_cast<std::size_t>(host.prow_[k]) * K];
-    Scalar* __restrict yk = &y_[k * K];
-    if (lane_copy_nonzero<KC>(yk, zk, K)) {
-      for (int p = host.lptr_[k]; p < host.lptr_[k + 1]; ++p) {
-        lane_fnmadd<KC>(&work_[static_cast<std::size_t>(host.lrow_[p]) * K],
-                        &lval_[static_cast<std::size_t>(p) * K], yk, K);
+
+  detail::SolveIo<Scalar> io;
+  io.n = host.n_;
+  io.q = host.q_.data();
+  io.prow = host.prow_.data();
+  io.lptr = host.lptr_.data();
+  io.lrow = host.lrow_.data();
+  io.uptr = host.uptr_.data();
+  io.uidx = host.uidx_.data();
+  io.lval = lbase_;
+  io.uval = ubase_;
+  io.udiag = dbase_;
+  // The forward pass consumes b in place as its permuted workspace: the
+  // final scatter rewrites every entry of b from y_ only after the forward
+  // pass has fully drained work, so aliasing saves the n*K scratch copy.
+  io.work = b.data();
+  io.y = aligned_workspace(y_, host.n_ * lanes_);
+  io.b = b.data();
+
+  // Substitutions reuse the width the refactor dispatched so the factors
+  // and the solves stream the same lane layout through the same units.
+  switch (lanes_) {
+    case 1:
+      detail::batch_solve_kernel<1, 1>(io, lanes_);
+      return;
+    case 2:
+      detail::batch_solve_kernel<2, 2>(io, lanes_);
+      return;
+    case 4:
+#ifdef MOHECO_WIDE_LANES
+      if (kernel_width_ >= 4) {
+        wide::solve_k4_avx2(io);
+        return;
       }
-    } else {
-      for (std::size_t l = 0; l < K; ++l) {
-        const Scalar zl = yk[l];
-        if (zl == Scalar{}) continue;
-        for (int p = host.lptr_[k]; p < host.lptr_[k + 1]; ++p) {
-          work_[static_cast<std::size_t>(host.lrow_[p]) * K + l] -=
-              lval_[static_cast<std::size_t>(p) * K + l] * zl;
-        }
+#endif
+      detail::batch_solve_kernel<4, 2>(io, lanes_);
+      return;
+    case 8:
+#ifdef MOHECO_WIDE_LANES
+      if (kernel_width_ >= 8) {
+        wide::solve_k8_avx512(io);
+        return;
       }
-    }
-  }
-  // Backward: U x' = z per lane, column-oriented in elimination-step space.
-  for (std::size_t k = n; k-- > 0;) {
-    Scalar* __restrict yk = &y_[k * K];
-    const Scalar* __restrict dk = &udiag_[k * K];
-    bool all_nonzero = true;
-    for (std::size_t l = 0; l < K; ++l) {
-      yk[l] /= dk[l];
-      if (yk[l] == Scalar{}) all_nonzero = false;
-    }
-    if (all_nonzero) {
-      for (int p = host.uptr_[k]; p < host.uptr_[k + 1]; ++p) {
-        lane_fnmadd<KC>(&y_[static_cast<std::size_t>(host.uidx_[p]) * K],
-                        &uval_[static_cast<std::size_t>(p) * K], yk, K);
+      if (kernel_width_ >= 4) {
+        wide::solve_k8_avx2(io);
+        return;
       }
-    } else {
-      for (std::size_t l = 0; l < K; ++l) {
-        const Scalar xl = yk[l];
-        if (xl == Scalar{}) continue;
-        for (int p = host.uptr_[k]; p < host.uptr_[k + 1]; ++p) {
-          y_[static_cast<std::size_t>(host.uidx_[p]) * K + l] -=
-              uval_[static_cast<std::size_t>(p) * K + l] * xl;
-        }
-      }
-    }
-  }
-  for (std::size_t k = 0; k < n; ++k) {
-    lane_copy<KC>(&b[static_cast<std::size_t>(host.q_[k]) * K], &y_[k * K], K);
+#endif
+      detail::batch_solve_kernel<8, 2>(io, lanes_);
+      return;
+    default:
+      detail::batch_solve_kernel<0, 1>(io, lanes_);
+      return;
   }
 }
 

@@ -1,0 +1,415 @@
+// Batched (SoA) sparse-LU lane kernels, shared by every ISA translation
+// unit: src/linalg/sparse.cpp instantiates the portable variants (scalar,
+// any-width, and the two-wide SSE2 baseline every x86-64 target has), while
+// src/linalg/sparse_lanes_avx2.cpp / sparse_lanes_avx512.cpp instantiate
+// the same templates at vector width 4 / 8 under per-file -mavx2 /
+// -mavx512f flags.  linalg::simd_caps() decides at runtime which
+// instantiation may execute on the current host.
+//
+// Everything except the Io views lives in an anonymous namespace ON
+// PURPOSE: each including TU must get its own internal-linkage copy of the
+// kernels and primitives.  With ordinary external/COMDAT linkage the linker
+// would keep ONE copy of any instantiation shared between TUs (e.g. the
+// generic complex loops), and it could legally pick the AVX-compiled one --
+// which the portable dispatch path would then execute on a host without
+// AVX.  Internal linkage removes that failure mode entirely.
+//
+// Bit-identity contract (enforced by test_batch and the bench_micro_batch
+// gates): per lane, every kernel width performs the exact scalar-path
+// arithmetic -- same zero-skips (an unconditional x -= 0 * l can flip a
+// signed zero), same pivot-check visit order, same NaN propagation, and
+// packed IEEE-754 vector ops are elementwise-identical to scalar ops.  The
+// including TUs are compiled with -ffp-contract=off and without SLP
+// vectorization so no multiply-add ever fuses differently per width.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+
+namespace moheco::linalg::detail {
+
+/// Borrowed view of one batched numeric refactorization: the host solver's
+/// symbolic structures, the matrix pattern, the slot-major SoA input
+/// values, and the batch's (pre-sized) SoA output arrays.
+template <typename Scalar>
+struct BatchIo {
+  std::size_t n = 0;
+  // Host symbolic analysis (SparseLuSolver internals, borrowed).
+  const int* q = nullptr;
+  const int* prow = nullptr;
+  const int* lptr = nullptr;
+  const int* lrow = nullptr;
+  const int* uptr = nullptr;
+  const int* uidx = nullptr;
+  // Matrix pattern.
+  const int* col_ptr = nullptr;
+  const int* row_idx = nullptr;
+  /// Input values, addressed `soa_values[slot * soa_slot_stride +
+  /// lane * soa_lane_stride]`: slot-major SoA is (lanes, 1); compact
+  /// lane-major staging buffers are (1, >= nnz).  Copies only, so every
+  /// addressing produces identical bits.
+  const Scalar* soa_values = nullptr;
+  std::size_t soa_slot_stride = 0;
+  std::size_t soa_lane_stride = 1;
+  // Batch numeric state (pre-sized by the caller; x zeroed).
+  Scalar* lval = nullptr;
+  Scalar* uval = nullptr;
+  Scalar* udiag = nullptr;
+  Scalar* x = nullptr;      ///< workspace, n * lanes
+  double* colmax = nullptr; ///< pivot-check scratch, lanes entries
+};
+
+/// Borrowed view of one batched substitution pass.
+template <typename Scalar>
+struct SolveIo {
+  std::size_t n = 0;
+  const int* q = nullptr;
+  const int* prow = nullptr;
+  const int* lptr = nullptr;
+  const int* lrow = nullptr;
+  const int* uptr = nullptr;
+  const int* uidx = nullptr;
+  const Scalar* lval = nullptr;
+  const Scalar* uval = nullptr;
+  const Scalar* udiag = nullptr;
+  Scalar* work = nullptr;  ///< n * lanes forward-pass workspace; may alias b
+                           ///< (b is only rewritten by the final scatter)
+  Scalar* y = nullptr;     ///< n * lanes, elimination-step-space solution
+  Scalar* b = nullptr;     ///< n * lanes SoA rhs in, solution out
+};
+
+namespace {
+
+inline double kernel_magnitude(double x) { return std::fabs(x); }
+inline double kernel_magnitude(const std::complex<double>& x) {
+  return std::abs(x);
+}
+
+/// refactor() declares pivot breakdown when a replayed pivot falls below
+/// this fraction of its column's magnitude (mirrors the scalar solver).
+constexpr double kKernelRefactorPivotTol = 1e-4;
+
+// --- fixed-width lane primitives -----------------------------------------
+//
+// The generic templates are plain loops; KC > 0 instantiations have
+// compile-time trip counts (KC == 0 is the any-width fallback).  GCC's
+// early complete unrolling turns the constant-trip loops into straight-line
+// code that neither the loop vectorizer nor SLP reliably picks back up, so
+// the even-width double kernels are written directly against the GCC/Clang
+// vector extension at the TU's vector width W (2 = SSE2 baseline,
+// 4 = AVX2 ymm, 8 = AVX-512 zmm).  Packed IEEE-754 arithmetic is
+// elementwise-identical to the scalar ops, so per-lane results stay
+// bit-identical at every width.
+#if defined(__GNUC__) || defined(__clang__)
+#define MOHECO_LANE_VEC 1
+// aligned(8): lane slices are only guaranteed double-aligned, so accesses
+// must not assume natural vector alignment (unaligned moves cost nothing
+// when the data happens to be aligned).
+template <std::size_t W>
+struct LaneVec;
+template <>
+struct LaneVec<2> {
+  typedef double type __attribute__((vector_size(16), aligned(8)));
+};
+template <>
+struct LaneVec<4> {
+  typedef double type __attribute__((vector_size(32), aligned(8)));
+};
+template <>
+struct LaneVec<8> {
+  typedef double type __attribute__((vector_size(64), aligned(8)));
+};
+#endif
+
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline void lane_copy(Scalar* __restrict dst, const Scalar* __restrict src,
+                      std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  for (std::size_t l = 0; l < K; ++l) dst[l] = src[l];
+}
+
+/// dst = src, returning true when no lane is (an exact) zero.
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline bool lane_copy_nonzero(Scalar* __restrict dst,
+                              const Scalar* __restrict src, std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  bool all_nonzero = true;
+  for (std::size_t l = 0; l < K; ++l) {
+    dst[l] = src[l];
+    if (src[l] == Scalar{}) all_nonzero = false;
+  }
+  return all_nonzero;
+}
+
+/// x -= l * u over the lanes.
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline void lane_fnmadd(Scalar* __restrict x, const Scalar* __restrict lv,
+                        const Scalar* __restrict u, std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  for (std::size_t l = 0; l < K; ++l) x[l] -= lv[l] * u[l];
+}
+
+/// dst = num / den over the lanes.
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline void lane_div(Scalar* __restrict dst, const Scalar* __restrict num,
+                     const Scalar* __restrict den, std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  for (std::size_t l = 0; l < K; ++l) dst[l] = num[l] / den[l];
+}
+
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline void lane_zero(Scalar* __restrict x, std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  for (std::size_t l = 0; l < K; ++l) x[l] = Scalar{};
+}
+
+/// cm = max(cm, |x|) over the lanes, with std::max semantics: the result is
+/// `(cm < |x|) ? |x| : cm`, so an incoming NaN magnitude leaves cm
+/// unchanged -- the vector specialization must reproduce this exactly (a
+/// plain maxpd would return the NaN instead).
+template <std::size_t KC, std::size_t W, typename Scalar>
+inline void lane_colmax(double* __restrict cm, const Scalar* __restrict x,
+                        std::size_t k) {
+  const std::size_t K = KC == 0 ? k : KC;
+  for (std::size_t l = 0; l < K; ++l) {
+    cm[l] = std::max(cm[l], kernel_magnitude(x[l]));
+  }
+}
+
+#ifdef MOHECO_LANE_VEC
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline void lane_copy(double* __restrict dst, const double* __restrict src,
+                      std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    reinterpret_cast<vec*>(dst)[i] = reinterpret_cast<const vec*>(src)[i];
+  }
+}
+
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline bool lane_copy_nonzero(double* __restrict dst,
+                              const double* __restrict src, std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  const vec zero = {};
+  long long any_zero = 0;
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    const vec v = reinterpret_cast<const vec*>(src)[i];
+    reinterpret_cast<vec*>(dst)[i] = v;
+    const auto eq = (v == zero);  // lane mask: all-ones where v[l] == 0.0
+    for (std::size_t l = 0; l < W; ++l) any_zero |= eq[l];
+  }
+  return any_zero == 0;
+}
+
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline void lane_fnmadd(double* __restrict x, const double* __restrict lv,
+                        const double* __restrict u, std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    reinterpret_cast<vec*>(x)[i] -= reinterpret_cast<const vec*>(lv)[i] *
+                                    reinterpret_cast<const vec*>(u)[i];
+  }
+}
+
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline void lane_div(double* __restrict dst, const double* __restrict num,
+                     const double* __restrict den, std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    reinterpret_cast<vec*>(dst)[i] = reinterpret_cast<const vec*>(num)[i] /
+                                     reinterpret_cast<const vec*>(den)[i];
+  }
+}
+
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline void lane_zero(double* __restrict x, std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  const vec zero = {};
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    reinterpret_cast<vec*>(x)[i] = zero;
+  }
+}
+
+template <std::size_t KC, std::size_t W>
+  requires(W >= 2 && KC >= W && KC % W == 0)
+inline void lane_colmax(double* __restrict cm, const double* __restrict x,
+                        std::size_t) {
+  using vec = typename LaneVec<W>::type;
+  typedef long long ivec __attribute__((vector_size(sizeof(vec)), aligned(8)));
+  for (std::size_t i = 0; i < KC / W; ++i) {
+    const vec v = reinterpret_cast<const vec*>(x)[i];
+    // |v| by clearing the sign bit: bit-exact fabs, NaN payloads intact.
+    ivec bits;
+    __builtin_memcpy(&bits, &v, sizeof(vec));
+    bits &= 0x7fffffffffffffffLL;
+    vec mag;
+    __builtin_memcpy(&mag, &bits, sizeof(vec));
+    const vec c = reinterpret_cast<const vec*>(cm)[i];
+    // Elementwise (c < mag) ? mag : c -- the exact std::max select, which
+    // keeps c when mag is NaN (cmppd + blend, not maxpd).
+    reinterpret_cast<vec*>(cm)[i] = c < mag ? mag : c;
+  }
+}
+#endif  // MOHECO_LANE_VEC
+
+// --- kernel bodies -------------------------------------------------------
+
+/// Numeric refactorization of `lanes` value lanes replaying the host's
+/// recorded elimination structures; returns false on any lane's pivot
+/// breakdown (all-or-nothing, the caller demotes every lane to the scalar
+/// path).  KC is the compile-time lane count (0 = any width), W the vector
+/// width of the double primitives.
+template <std::size_t KC, std::size_t W, typename Scalar>
+bool batch_refactor_kernel(const BatchIo<Scalar>& io, std::size_t lanes) {
+  const std::size_t K = KC == 0 ? lanes : KC;
+  const int ni = static_cast<int>(io.n);
+
+  for (int k = 0; k < ni; ++k) {
+    const int col = io.q[k];
+    for (int p = io.col_ptr[col]; p < io.col_ptr[col + 1]; ++p) {
+      Scalar* __restrict dst =
+          &io.x[static_cast<std::size_t>(io.row_idx[p]) * K];
+      const Scalar* __restrict src =
+          io.soa_values + static_cast<std::size_t>(p) * io.soa_slot_stride;
+      if (io.soa_lane_stride == 1) {
+        lane_copy<KC, W>(dst, src, K);
+      } else {
+        // Lane-major input: gather the slot's K lanes (stride >= nnz).
+        // Within a column the slots are consecutive, so each lane's reads
+        // stream sequentially.
+        for (std::size_t l = 0; l < K; ++l) dst[l] = src[l * io.soa_lane_stride];
+      }
+    }
+    for (int p = io.uptr[k]; p < io.uptr[k + 1]; ++p) {
+      const int j = io.uidx[p];
+      const Scalar* __restrict xj =
+          &io.x[static_cast<std::size_t>(io.prow[j]) * K];
+      Scalar* __restrict uv = &io.uval[static_cast<std::size_t>(p) * K];
+      if (lane_copy_nonzero<KC, W>(uv, xj, K)) {
+        // Vector path over the lanes; `uv` is a private copy of xj, so the
+        // update loop has no aliasing hazard against the x scatters.
+        for (int s = io.lptr[j]; s < io.lptr[j + 1]; ++s) {
+          lane_fnmadd<KC, W>(&io.x[static_cast<std::size_t>(io.lrow[s]) * K],
+                             &io.lval[static_cast<std::size_t>(s) * K], uv, K);
+        }
+      } else {
+        // A zero lane must SKIP its updates exactly like the scalar kernel
+        // (an unconditional x -= 0 * l can flip the sign of a signed zero).
+        for (std::size_t l = 0; l < K; ++l) {
+          const Scalar xjl = uv[l];
+          if (xjl == Scalar{}) continue;
+          for (int s = io.lptr[j]; s < io.lptr[j + 1]; ++s) {
+            io.x[static_cast<std::size_t>(io.lrow[s]) * K + l] -=
+                io.lval[static_cast<std::size_t>(s) * K + l] * xjl;
+          }
+        }
+      }
+    }
+    const int prow = io.prow[k];
+    Scalar* __restrict pv = &io.x[static_cast<std::size_t>(prow) * K];
+    // One fused walk of the L column: accumulate the column-magnitude
+    // maxima, form the multipliers, and restore the workspace's all-zero
+    // invariant for the visited rows.  Per lane this reads the same values
+    // in the same order as the scalar kernel (pivot first, then the rows
+    // ascending), so the maxima (incl. NaN propagation) and the quotients
+    // are bit-identical; dividing by the pivot before the breakdown check
+    // is safe because a failed batch is discarded wholesale, multipliers
+    // included.  The pivot row is never in lrow (L is strictly below the
+    // pivot), so zeroing the visited rows cannot clobber the divisor.
+    double* __restrict cm = io.colmax;
+    for (std::size_t l = 0; l < K; ++l) cm[l] = kernel_magnitude(pv[l]);
+    for (int s = io.lptr[k]; s < io.lptr[k + 1]; ++s) {
+      Scalar* __restrict xr = &io.x[static_cast<std::size_t>(io.lrow[s]) * K];
+      lane_colmax<KC, W>(cm, xr, K);
+      lane_div<KC, W>(&io.lval[static_cast<std::size_t>(s) * K], xr, pv, K);
+      lane_zero<KC, W>(xr, K);
+    }
+    for (std::size_t l = 0; l < K; ++l) {
+      const Scalar piv = pv[l];
+      if (!std::isfinite(cm[l]) || !(kernel_magnitude(piv) > 0.0) ||
+          kernel_magnitude(piv) < kKernelRefactorPivotTol * cm[l]) {
+        // Any lane breaking down invalidates the whole batch: the scalar
+        // path would re-pivot here, changing the factors every later lane
+        // replays, so the caller must rerun all lanes sequentially.
+        return false;
+      }
+      io.udiag[static_cast<std::size_t>(k) * K + l] = piv;
+    }
+    // Restore the rest of the workspace invariant: the U-pattern rows this
+    // column scattered into, and the pivot row itself.
+    for (int p = io.uptr[k]; p < io.uptr[k + 1]; ++p) {
+      lane_zero<KC, W>(
+          &io.x[static_cast<std::size_t>(io.prow[io.uidx[p]]) * K], K);
+    }
+    lane_zero<KC, W>(pv, K);
+  }
+  return true;
+}
+
+/// Forward + backward substitution over all lanes of the last successful
+/// batched refactorization; io.b is SoA and overwritten with the solutions.
+template <std::size_t KC, std::size_t W, typename Scalar>
+void batch_solve_kernel(const SolveIo<Scalar>& io, std::size_t lanes) {
+  const std::size_t K = KC == 0 ? lanes : KC;
+  const std::size_t n = io.n;
+  // Forward: L z = P b per lane, column-oriented over original row indices.
+  for (std::size_t k = 0; k < n; ++k) {
+    const Scalar* __restrict zk =
+        &io.work[static_cast<std::size_t>(io.prow[k]) * K];
+    Scalar* __restrict yk = &io.y[k * K];
+    if (lane_copy_nonzero<KC, W>(yk, zk, K)) {
+      for (int p = io.lptr[k]; p < io.lptr[k + 1]; ++p) {
+        lane_fnmadd<KC, W>(&io.work[static_cast<std::size_t>(io.lrow[p]) * K],
+                           &io.lval[static_cast<std::size_t>(p) * K], yk, K);
+      }
+    } else {
+      for (std::size_t l = 0; l < K; ++l) {
+        const Scalar zl = yk[l];
+        if (zl == Scalar{}) continue;
+        for (int p = io.lptr[k]; p < io.lptr[k + 1]; ++p) {
+          io.work[static_cast<std::size_t>(io.lrow[p]) * K + l] -=
+              io.lval[static_cast<std::size_t>(p) * K + l] * zl;
+        }
+      }
+    }
+  }
+  // Backward: U x' = z per lane, column-oriented in elimination-step space.
+  for (std::size_t k = n; k-- > 0;) {
+    Scalar* __restrict yk = &io.y[k * K];
+    const Scalar* __restrict dk = &io.udiag[k * K];
+    bool all_nonzero = true;
+    for (std::size_t l = 0; l < K; ++l) {
+      yk[l] /= dk[l];
+      if (yk[l] == Scalar{}) all_nonzero = false;
+    }
+    if (all_nonzero) {
+      for (int p = io.uptr[k]; p < io.uptr[k + 1]; ++p) {
+        lane_fnmadd<KC, W>(&io.y[static_cast<std::size_t>(io.uidx[p]) * K],
+                           &io.uval[static_cast<std::size_t>(p) * K], yk, K);
+      }
+    } else {
+      for (std::size_t l = 0; l < K; ++l) {
+        const Scalar xl = yk[l];
+        if (xl == Scalar{}) continue;
+        for (int p = io.uptr[k]; p < io.uptr[k + 1]; ++p) {
+          io.y[static_cast<std::size_t>(io.uidx[p]) * K + l] -=
+              io.uval[static_cast<std::size_t>(p) * K + l] * xl;
+        }
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    lane_copy<KC, W>(&io.b[static_cast<std::size_t>(io.q[k]) * K],
+                     &io.y[k * K], K);
+  }
+}
+
+}  // namespace
+}  // namespace moheco::linalg::detail

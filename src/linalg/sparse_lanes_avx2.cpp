@@ -1,0 +1,47 @@
+// AVX2 instantiations of the batched sparse-LU lane kernels: the shared
+// templates from sparse_kernels.hpp at vector width 4 (ymm), lane counts
+// 4 and 8.  CMake compiles exactly this file with
+//   -mavx2 -ffp-contract=off -fno-tree-slp-vectorize
+// so the vector-extension primitives lower to real ymm instructions even in
+// a stock (non -march=native) build; -ffp-contract=off plus no SLP keeps
+// every multiply-add unfused, preserving per-lane bit-identity with the
+// scalar path (gcc's SLP pass would otherwise rewrite std::complex
+// multiplies into fused vfmaddsub sequences when FMA is in reach).
+//
+// Nothing here may run on a host without AVX2: the only caller is the
+// runtime dispatch in sparse.cpp, gated on linalg::simd_caps().avx2.
+#include "src/linalg/sparse_wide.hpp"
+
+#ifdef MOHECO_WIDE_LANES
+
+namespace moheco::linalg::wide {
+
+bool refactor_k4_avx2(const detail::BatchIo<double>& io) {
+  return detail::batch_refactor_kernel<4, 4>(io, 4);
+}
+bool refactor_k8_avx2(const detail::BatchIo<double>& io) {
+  return detail::batch_refactor_kernel<8, 4>(io, 8);
+}
+bool refactor_k4_avx2(const detail::BatchIo<std::complex<double>>& io) {
+  return detail::batch_refactor_kernel<4, 4>(io, 4);
+}
+bool refactor_k8_avx2(const detail::BatchIo<std::complex<double>>& io) {
+  return detail::batch_refactor_kernel<8, 4>(io, 8);
+}
+
+void solve_k4_avx2(const detail::SolveIo<double>& io) {
+  detail::batch_solve_kernel<4, 4>(io, 4);
+}
+void solve_k8_avx2(const detail::SolveIo<double>& io) {
+  detail::batch_solve_kernel<8, 4>(io, 8);
+}
+void solve_k4_avx2(const detail::SolveIo<std::complex<double>>& io) {
+  detail::batch_solve_kernel<4, 4>(io, 4);
+}
+void solve_k8_avx2(const detail::SolveIo<std::complex<double>>& io) {
+  detail::batch_solve_kernel<8, 4>(io, 8);
+}
+
+}  // namespace moheco::linalg::wide
+
+#endif  // MOHECO_WIDE_LANES

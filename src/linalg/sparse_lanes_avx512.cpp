@@ -1,0 +1,32 @@
+// AVX-512F instantiations of the batched sparse-LU lane kernels: the shared
+// templates from sparse_kernels.hpp at vector width 8 (zmm), lane count 8.
+// CMake compiles exactly this file with
+//   -mavx512f -ffp-contract=off -fno-tree-slp-vectorize
+// (see sparse_lanes_avx2.cpp for why contraction and SLP stay off: per-lane
+// bit-identity with the scalar path forbids any fused multiply-add).
+//
+// Nothing here may run on a host without AVX-512F: the only caller is the
+// runtime dispatch in sparse.cpp, gated on linalg::simd_caps().avx512f.
+#include "src/linalg/sparse_wide.hpp"
+
+#ifdef MOHECO_WIDE_LANES
+
+namespace moheco::linalg::wide {
+
+bool refactor_k8_avx512(const detail::BatchIo<double>& io) {
+  return detail::batch_refactor_kernel<8, 8>(io, 8);
+}
+bool refactor_k8_avx512(const detail::BatchIo<std::complex<double>>& io) {
+  return detail::batch_refactor_kernel<8, 8>(io, 8);
+}
+
+void solve_k8_avx512(const detail::SolveIo<double>& io) {
+  detail::batch_solve_kernel<8, 8>(io, 8);
+}
+void solve_k8_avx512(const detail::SolveIo<std::complex<double>>& io) {
+  detail::batch_solve_kernel<8, 8>(io, 8);
+}
+
+}  // namespace moheco::linalg::wide
+
+#endif  // MOHECO_WIDE_LANES

@@ -1,0 +1,43 @@
+// Entry points of the wide (AVX2 / AVX-512F) SparseLuBatch lane kernels.
+//
+// Each function is defined in an ISA-specific translation unit compiled
+// with per-file target flags (see CMakeLists.txt):
+//   * sparse_lanes_avx2.cpp   (-mavx2):    4-double ymm primitives
+//   * sparse_lanes_avx512.cpp (-mavx512f): 8-double zmm primitives
+// They are built unconditionally on x86-64 but must only be CALLED when
+// linalg::simd_caps() reports the matching ISA -- SparseLuBatch's runtime
+// dispatch (sparse.cpp) is the sole caller and enforces that.
+//
+// The k4/k8 suffix is the lane count KC, the _avx2/_avx512 suffix the
+// vector width of the double primitives (complex lanes use the generic
+// per-lane loops compiled under the TU's ISA).  Every variant is bit-
+// identical per lane to the scalar path; only throughput differs.
+#pragma once
+
+#include <complex>
+
+#include "src/linalg/sparse_kernels.hpp"
+
+#ifdef MOHECO_WIDE_LANES
+
+namespace moheco::linalg::wide {
+
+// Numeric refactorization; false on pivot breakdown (all-or-nothing).
+bool refactor_k4_avx2(const detail::BatchIo<double>& io);
+bool refactor_k8_avx2(const detail::BatchIo<double>& io);
+bool refactor_k8_avx512(const detail::BatchIo<double>& io);
+bool refactor_k4_avx2(const detail::BatchIo<std::complex<double>>& io);
+bool refactor_k8_avx2(const detail::BatchIo<std::complex<double>>& io);
+bool refactor_k8_avx512(const detail::BatchIo<std::complex<double>>& io);
+
+// Forward + backward substitution over all lanes.
+void solve_k4_avx2(const detail::SolveIo<double>& io);
+void solve_k8_avx2(const detail::SolveIo<double>& io);
+void solve_k8_avx512(const detail::SolveIo<double>& io);
+void solve_k4_avx2(const detail::SolveIo<std::complex<double>>& io);
+void solve_k8_avx2(const detail::SolveIo<std::complex<double>>& io);
+void solve_k8_avx512(const detail::SolveIo<std::complex<double>>& io);
+
+}  // namespace moheco::linalg::wide
+
+#endif  // MOHECO_WIDE_LANES

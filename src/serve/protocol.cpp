@@ -126,8 +126,10 @@ bool decode_submit(const JsonValue& request, JobSpec* spec, std::string* tag,
       }
     } else if (key == "batch") {
       spec->eval.batch = static_cast<int>(value.as_int());
-      if (spec->eval.batch < 1) {
-        *error = "options.batch must be at least 1";
+      const std::string err =
+          circuits::EvalConfig::validate_batch(value.as_int(), "options.batch");
+      if (!err.empty()) {
+        *error = err;
         return false;
       }
     } else if (key == "sized_deck") {

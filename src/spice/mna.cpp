@@ -53,7 +53,7 @@ void MnaSystem<Scalar>::reset(std::size_t n, SolverBackend backend) {
     sparse_a_ = {};
     sparse_lu_ = {};
     batch_lanes_ = 0;
-    batch_values_.clear();
+    lane_scratch_.clear();
     batch_rhs_.clear();
   } else {
     dense_a_.reset(n, n);
@@ -115,9 +115,16 @@ void MnaSystem<Scalar>::begin_batch(std::size_t lanes) {
   require(lanes > 0, "MnaSystem::begin_batch: need at least one lane");
   batch_lanes_ = lanes;
   batch_lane_ = 0;
-  batch_base_ = 0;
-  batch_values_.assign(sparse_a_.nnz() * lanes, Scalar{});
-  batch_rhs_.assign(n_ * lanes, Scalar{});
+  lane_base_ = 0;
+  batch_rhs_.resize(n_ * lanes);
+  lane_scratch_.resize(sparse_a_.nnz() * lanes);
+  lane_rhs_scratch_.resize(n_);
+  // Lanes start "fresh": their scratch regions hold stale values from the
+  // previous batch until their first begin_lane() zero-fills them (the
+  // common all-lanes-restamped case then pays exactly one fill per lane).
+  // factor_batch() zero-fills any lane still fresh so a never-stamped lane
+  // reads as singular, not as stale garbage.
+  batch_lane_fresh_.assign(lanes, 1);
 }
 
 template <typename Scalar>
@@ -125,41 +132,54 @@ void MnaSystem<Scalar>::begin_lane(std::size_t lane) {
   require(batch_lanes_ > 0 && lane < batch_lanes_,
           "MnaSystem::begin_lane: lane out of range (begin_batch first)");
   batch_lane_ = lane;
+  lane_base_ = lane * sparse_a_.nnz();
   cursor_ = 0;
-  // Zero just this lane's values and rhs; other lanes keep theirs (a lane
-  // frozen mid-batch stays factorable with its last assembly).  Values are
-  // lane-major, so the lane's slice is one contiguous fill.
-  const std::size_t nnz = sparse_a_.nnz();
-  batch_base_ = lane * nnz;
-  std::fill(batch_values_.begin() + static_cast<std::ptrdiff_t>(batch_base_),
-            batch_values_.begin() + static_cast<std::ptrdiff_t>(batch_base_ + nnz),
+  batch_lane_fresh_[lane] = 0;
+  // The lane assembles into its compact lane-major scratch region; other
+  // lanes' regions are untouched (a lane frozen mid-batch stays factorable
+  // with its last assembly).
+  std::fill(lane_scratch_.begin() + static_cast<std::ptrdiff_t>(lane_base_),
+            lane_scratch_.begin() +
+                static_cast<std::ptrdiff_t>(lane_base_ + sparse_a_.nnz()),
             Scalar{});
-  for (std::size_t i = 0; i < n_; ++i) {
-    batch_rhs_[i * batch_lanes_ + lane] = Scalar{};
-  }
+  std::fill(lane_rhs_scratch_.begin(), lane_rhs_scratch_.end(), Scalar{});
 }
 
 template <typename Scalar>
 void MnaSystem<Scalar>::end_lane() {
   require(cursor_ == slots_.size(),
           "MnaSystem: stamp sequence diverged from the captured pattern");
+  // The rhs is tiny (a handful of source injections over n entries), so a
+  // per-lane strided scatter is cheap; the matrix values wait for
+  // factor_batch()'s blocked transpose.
+  for (std::size_t i = 0; i < n_; ++i) {
+    batch_rhs_[i * batch_lanes_ + batch_lane_] = lane_rhs_scratch_[i];
+  }
 }
 
 template <typename Scalar>
 bool MnaSystem<Scalar>::factor_batch() {
   require(batch_lanes_ > 0, "MnaSystem::factor_batch: no open batch");
-  // Transpose the lane-major assembly slices into slot-major SoA lanes for
-  // the SIMD kernels (a pure permutation: per-lane values are untouched).
-  const std::size_t nnz = sparse_a_.nnz();
-  const std::size_t K = batch_lanes_;
-  batch_soa_.resize(nnz * K);
-  for (std::size_t l = 0; l < K; ++l) {
-    const Scalar* src = &batch_values_[l * nnz];
-    for (std::size_t slot = 0; slot < nnz; ++slot) {
-      batch_soa_[slot * K + l] = src[slot];
+  // A lane never stamped since begin_batch() must read as all-zero
+  // (singular -> breakdown), not as the previous batch's stale values.
+  for (std::size_t lane = 0; lane < batch_lanes_; ++lane) {
+    if (!batch_lane_fresh_[lane]) continue;
+    batch_lane_fresh_[lane] = 0;
+    const std::size_t base = lane * sparse_a_.nnz();
+    std::fill(lane_scratch_.begin() + static_cast<std::ptrdiff_t>(base),
+              lane_scratch_.begin() +
+                  static_cast<std::ptrdiff_t>(base + sparse_a_.nnz()),
+              Scalar{});
+    for (std::size_t i = 0; i < n_; ++i) {
+      batch_rhs_[i * batch_lanes_ + lane] = Scalar{};
     }
   }
-  return batch_lu_.refactor(sparse_lu_, sparse_a_, batch_soa_, batch_lanes_);
+  // The lane-major staging buffers go to the batched LU as-is: its kernels
+  // gather each slot's lanes while scattering columns into the workspace,
+  // so no slot-major transpose is ever materialized.
+  return batch_lu_.refactor_lane_major(sparse_lu_, sparse_a_,
+                                       lane_scratch_.data(), sparse_a_.nnz(),
+                                       batch_lanes_);
 }
 
 template <typename Scalar>

@@ -104,8 +104,14 @@ class MnaSystem {
     if (sparse_ && pattern_ready_) [[likely]] {
       if (cursor_ >= slots_.size()) [[unlikely]] replay_overflow();
       const std::uint32_t slot = slots_[cursor_++];
+      // Batched lanes accumulate into the compact per-lane staging buffer
+      // (same memory behavior as the scalar replay: ~8 slots per cache
+      // line); factor_batch() hands the lane-major buffers straight to the
+      // batched LU's gathering kernels.  Stamping into a slot-major
+      // `[slot * K + lane]` array would touch a separate cache line per
+      // add().
       if (batch_lanes_ > 0) {
-        batch_values_[batch_base_ + slot] += v;
+        lane_scratch_[lane_base_ + slot] += v;
       } else {
         sparse_a_.value(slot) += v;
       }
@@ -115,7 +121,7 @@ class MnaSystem {
   }
   void rhs_add(int r, Scalar v) {
     if (batch_lanes_ > 0) {
-      batch_rhs_[static_cast<std::size_t>(r) * batch_lanes_ + batch_lane_] += v;
+      lane_rhs_scratch_[static_cast<std::size_t>(r)] += v;
     } else {
       rhs_[static_cast<std::size_t>(r)] += v;
     }
@@ -132,12 +138,12 @@ class MnaSystem {
   // --- Batched (SoA) assembly over the captured pattern -----------------
   //
   // K process samples of one symbolic pattern assemble and factor at once:
-  // every lane replays the identical stamp sequence into its own contiguous
-  // value slice (lane-major, so replay writes stream like the scalar path);
-  // factor_batch() transposes the slices into slot-major SoA lanes once and
-  // runs the numeric LU and the substitutions SIMD across the lanes through
-  // linalg::SparseLuBatch.  Per-lane results are bit-identical to the
-  // scalar path.  Protocol, per batch:
+  // every lane replays the identical stamp sequence straight into its lane
+  // of the slot-major SoA value array (`[slot * K + lane]`) -- the exact
+  // layout the SIMD kernels consume, so factor_batch() hands the assembly
+  // to linalg::SparseLuBatch with no transpose or copy in between.
+  // Per-lane accumulation order matches the scalar replay, so per-lane
+  // results are bit-identical to the scalar path.  Protocol, per batch:
   //
   //   sys.begin_batch(K);
   //   for each (active) lane l {
@@ -212,17 +218,20 @@ class MnaSystem {
   linalg::SparseLuSolver<Scalar> sparse_lu_;
 
   // Batched mode (0 lanes means scalar mode; the storage is kept across
-  // batches to avoid reallocation on the hot path).  batch_values_ holds
-  // the matrix values lane-major (`[lane * nnz + slot]`) so assembly writes
-  // are contiguous; factor_batch() transposes them into batch_soa_
-  // (`[slot * K + lane]`) for the SIMD kernels.  batch_rhs_ is SoA
+  // batches to avoid reallocation on the hot path).  Each lane assembles
+  // into its compact lane-major region of lane_scratch_
+  // (`[lane * nnz + slot]`, scalar-replay memory behavior) and
+  // factor_batch() passes the buffers to the batched LU's lane-gathering
+  // kernels unchanged, so frozen lanes (whose scratch regions were not
+  // restamped) keep their last factorable assembly.  batch_rhs_ is SoA
   // (`[i * K + lane]`) throughout, matching solve_batch().
   std::size_t batch_lanes_ = 0;
   std::size_t batch_lane_ = 0;
-  std::size_t batch_base_ = 0;
-  std::vector<Scalar> batch_values_;
-  std::vector<Scalar> batch_soa_;
+  std::size_t lane_base_ = 0;
   std::vector<Scalar> batch_rhs_;
+  std::vector<Scalar> lane_scratch_;
+  std::vector<Scalar> lane_rhs_scratch_;
+  std::vector<char> batch_lane_fresh_;  ///< no begin_lane() since begin_batch
   linalg::SparseLuBatch<Scalar> batch_lu_;
 };
 

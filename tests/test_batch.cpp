@@ -8,8 +8,10 @@
 // exact equality, not tolerance.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <complex>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -22,7 +24,10 @@
 #include "src/mc/candidate_yield.hpp"
 #include "src/mc/eval_scheduler.hpp"
 #include "src/spice/deck_parser.hpp"
+#include "src/spice/dc_solver.hpp"
 #include "src/spice/mna.hpp"
+#include "src/spice/netlist.hpp"
+#include "src/spice/tran_solver.hpp"
 #include "src/stats/rng.hpp"
 
 namespace moheco {
@@ -131,9 +136,10 @@ void check_batch_lanes(std::size_t n, int extra, std::size_t lanes,
 }
 
 TEST(SparseLuBatchTest, LanesMatchScalarBitwise) {
-  // 2/4/8 hit the compile-time kernels; 3, 5 and 16 hit the any-width
-  // fallback (KC = 0); 1 hits the single-lane kernel.
-  for (std::size_t lanes : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
+  // 2/4/8 hit the compile-time kernels (4/8 dispatch to the wide ISA TUs on
+  // capable hosts); 3, 5, 7 and 16 hit the any-width fallback (KC = 0); 1
+  // hits the single-lane kernel.
+  for (std::size_t lanes : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u}) {
     check_batch_lanes(/*n=*/60, /*extra=*/240, lanes, /*seed=*/0xB17C0DE + lanes);
   }
 }
@@ -228,6 +234,84 @@ TEST(SparseLuBatchTest, RefusesUnanalyzedHostAndSurvivesBreakdown) {
   EXPECT_FALSE(batch.refactor(host, a, mixed, 2));
   EXPECT_EQ(host.refactorizations(), refactors_before);
   EXPECT_TRUE(host.refactor(a));  // host factorization still healthy
+}
+
+TEST(SparseLuBatchTest, NaNPoisonedLaneTriggersBreakdownNotContamination) {
+  // Matrix-value NaNs: the poisoned lane's column maxima go non-finite, so
+  // refactor() must report breakdown (all-or-nothing, like the scalar
+  // solver) without touching the host -- NaNs never become a silently-wrong
+  // neighbor lane.
+  linalg::SparseMatrix<double> a = random_pattern(40, 160, 21, nullptr);
+  fill_values(a, [](std::size_t r, std::size_t c, std::size_t slot) {
+    return r == c ? 6.0 + 0.01 * static_cast<double>(slot % 7)
+                  : 0.2 - 0.01 * static_cast<double>(slot % 5);
+  });
+  linalg::SparseLuSolver<double> host;
+  ASSERT_TRUE(host.factor(a));
+  for (std::size_t lanes : {4u, 8u}) {
+    std::vector<double> soa(a.nnz() * lanes);
+    for (std::size_t slot = 0; slot < a.nnz(); ++slot) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        soa[slot * lanes + l] = a.values()[slot] * (1.0 + 0.01 * static_cast<double>(l));
+      }
+    }
+    // Poison one mid-batch lane's values.
+    const std::size_t bad = lanes / 2;
+    for (std::size_t slot = 0; slot < a.nnz(); ++slot) {
+      soa[slot * lanes + bad] = std::numeric_limits<double>::quiet_NaN();
+    }
+    linalg::SparseLuBatch<double> batch;
+    EXPECT_FALSE(batch.refactor(host, a, soa, lanes)) << "lanes=" << lanes;
+    EXPECT_TRUE(host.refactor(a));  // host factorization untouched
+  }
+}
+
+TEST(SparseLuBatchTest, NaNRhsLaneDoesNotContaminateNeighbors) {
+  // RHS NaNs flow through the substitution kernels: the poisoned lane's
+  // solution is what the scalar solve of that NaN rhs produces, and every
+  // other lane stays bit-identical to its scalar solve at all widths.
+  const std::size_t n = 50;
+  linalg::SparseMatrix<double> a = random_pattern(n, 200, 33, nullptr);
+  fill_values(a, [](std::size_t r, std::size_t c, std::size_t slot) {
+    return r == c ? 7.0 + 0.02 * static_cast<double>(slot % 9)
+                  : 0.15 - 0.01 * static_cast<double>(slot % 4);
+  });
+  linalg::SparseLuSolver<double> host;
+  ASSERT_TRUE(host.factor(a));
+  for (std::size_t lanes : {4u, 8u}) {
+    const std::size_t bad = 1;
+    std::vector<double> soa(a.nnz() * lanes);
+    for (std::size_t slot = 0; slot < a.nnz(); ++slot) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        soa[slot * lanes + l] = a.values()[slot];
+      }
+    }
+    std::vector<double> rhs_soa(n * lanes, 0.0);
+    std::vector<std::vector<double>> scalar_x(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::vector<double> b(n, 0.0);
+      b[0] = 1.0 + static_cast<double>(l);
+      b[3] = l == bad ? std::numeric_limits<double>::quiet_NaN() : -0.25;
+      for (std::size_t i = 0; i < n; ++i) rhs_soa[i * lanes + l] = b[i];
+      host.solve(b);
+      scalar_x[l] = std::move(b);
+    }
+    linalg::SparseLuBatch<double> batch;
+    ASSERT_TRUE(batch.refactor(host, a, soa, lanes));
+    batch.solve(rhs_soa);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double got = rhs_soa[i * lanes + l];
+        const double want = scalar_x[l][i];
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got)) << "lanes=" << lanes << " l=" << l;
+        } else {
+          ASSERT_EQ(std::memcmp(&got, &want, sizeof(got)), 0)
+              << "lanes=" << lanes << " l=" << l << " i=" << i;
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -354,6 +438,145 @@ TEST(MnaBatchTest, DenseBackendNeverBatchReady) {
   spice::MnaSystem<double> auto_sys;
   auto_sys.reset(grid.n, spice::SolverBackend::kAuto);
   EXPECT_FALSE(auto_sys.is_sparse());
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2.5: TranSolver::run_batch -- lockstep batched transient vs scalar
+// run(), including the mid-transient pivot-breakdown demotion path.
+// ---------------------------------------------------------------------------
+
+/// Pulse-driven RC ladder; per-lane R/C perturbation through the mutable
+/// netlist accessors (the same in-place mechanism process sampling uses).
+spice::Netlist rc_ladder(int stages) {
+  spice::Netlist n;
+  spice::NodeId prev = n.node("in");
+  n.add_pulse_vsource("Vin", prev, 0, 0.0, 1.0, 50e-9, 5e-9, 5e-9, 1.0);
+  for (int s = 0; s < stages; ++s) {
+    const spice::NodeId node = n.node("n" + std::to_string(s));
+    n.add_resistor("R" + std::to_string(s), prev, node, 1e3);
+    n.add_capacitor("C" + std::to_string(s), node, 0, 1e-12);
+    prev = node;
+  }
+  return n;
+}
+
+TEST(TranBatchTest, RunBatchMatchesScalarBitwise) {
+  const int stages = 12;
+  spice::Netlist n = rc_ladder(stages);
+  auto perturb = [&](std::size_t lane) {
+    for (int s = 0; s < stages; ++s) {
+      n.resistor(s).resistance =
+          1e3 * (1.0 + 0.07 * static_cast<double>((lane * 7 + static_cast<std::size_t>(s)) % 5));
+      n.capacitor(s).capacitance = 1e-12 * (1.0 + 0.05 * static_cast<double>(lane % 3));
+    }
+  };
+  spice::TranSolver tran(n, spice::SolverBackend::kSparse);
+  spice::DcSolver dc(n, spice::SolverBackend::kSparse);
+  spice::TranOptions options;
+  options.t_stop = 400e-9;
+
+  for (std::size_t lanes : {2u, 4u, 8u}) {
+    // Scalar references: per-lane step counts genuinely diverge here (each
+    // lane's LTE controller sees different dynamics), so the lockstep loop
+    // has to freeze early finishers while the rest keep stepping.
+    std::vector<std::vector<double>> ops(lanes), ref_time(lanes), ref_v(lanes);
+    const std::size_t stride = static_cast<std::size_t>(n.num_nodes()) + 1;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      perturb(l);
+      std::vector<double> sol(dc.layout().size(), 0.0);
+      ASSERT_EQ(dc.solve({}, &sol), spice::SolveStatus::kOk);
+      ops[l] = sol;
+      ASSERT_EQ(tran.run(options, &ops[l]), spice::SolveStatus::kOk);
+      ref_time[l] = tran.time();
+      ref_v[l].resize(tran.num_points() * stride);
+      for (std::size_t k = 0; k < tran.num_points(); ++k) {
+        for (std::size_t node = 0; node < stride; ++node) {
+          ref_v[l][k * stride + node] =
+              tran.voltage(k, static_cast<spice::NodeId>(node));
+        }
+      }
+    }
+    std::vector<spice::TranLaneResult> results;
+    ASSERT_TRUE(tran.run_batch(options, lanes, [&](std::size_t l) { perturb(l); },
+                               ops, &results))
+        << "K=" << lanes << ": batched transient did not engage";
+    for (std::size_t l = 0; l < lanes; ++l) {
+      EXPECT_EQ(results[l].status, spice::SolveStatus::kOk);
+      EXPECT_TRUE(bits_equal(results[l].time, ref_time[l]))
+          << "K=" << lanes << " lane " << l << " time axis differs";
+      EXPECT_TRUE(bits_equal(results[l].node_v, ref_v[l]))
+          << "K=" << lanes << " lane " << l << " waveform differs";
+      EXPECT_EQ(results[l].stats.steps, static_cast<long long>(ref_time[l].size()) - 1);
+    }
+  }
+}
+
+/// Circuit engineered so a replayed pivot breaks down MID-transient: column
+/// b's captured pivot is the capacitor companion conductance C/h, which
+/// decays as the LTE controller grows h, while a constant VCCS entry in the
+/// same column holds the column magnitude up.  About 15 accepted steps in,
+/// the pivot ratio crosses kRefactorPivotTol: the scalar path silently
+/// re-pivots (factor_with_reuse) and finishes, and the batch path must
+/// demote instead of replaying unusable pivots.
+spice::Netlist decaying_pivot_netlist() {
+  spice::Netlist n;
+  const spice::NodeId in = n.node("in");
+  const spice::NodeId a = n.node("a");
+  const spice::NodeId b = n.node("b");
+  n.add_pulse_vsource("Vin", in, 0, 0.0, 1.0, 0.5e-6, 5e-9, 5e-9, 1.0);
+  n.add_resistor("Rs", in, a, 1e3);
+  n.add_resistor("Rla", a, 0, 1e7);
+  n.add_resistor("Rlb", b, 0, 1e7);
+  n.add_capacitor("Cab", a, b, 1e-12);
+  n.add_vccs("G1", a, 0, b, 0, 0.5);
+  spice::NodeId p = a;
+  for (int s = 0; s < 5; ++s) {
+    const spice::NodeId nd = n.node("x" + std::to_string(s));
+    n.add_resistor("RX" + std::to_string(s), p, nd, 2e3);
+    n.add_capacitor("CX" + std::to_string(s), nd, 0, 1e-12);
+    p = nd;
+  }
+  return n;
+}
+
+TEST(TranBatchTest, MidTransientPivotBreakdownDemotesWholeBatch) {
+  spice::Netlist n = decaying_pivot_netlist();
+  auto perturb = [&](std::size_t lane) {
+    n.capacitor(0).capacitance = 1e-12 * (1.0 + 0.03 * static_cast<double>(lane));
+    n.resistor(0).resistance = 1e3 * (1.0 + 0.05 * static_cast<double>(lane));
+  };
+  spice::TranSolver tran(n, spice::SolverBackend::kSparse);
+  spice::DcSolver dc(n, spice::SolverBackend::kSparse);
+  spice::TranOptions o;
+  o.t_stop = 1e-6;
+  o.dt_init = 1e-12;  // h then grows ~1e5x, decaying the C/h pivot with it
+  o.dt_max = 1e-7;
+
+  for (std::size_t lanes : {4u, 8u}) {
+    std::vector<std::vector<double>> ops(lanes), ref_time(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      perturb(l);
+      std::vector<double> sol(dc.layout().size(), 0.0);
+      ASSERT_EQ(dc.solve({}, &sol), spice::SolveStatus::kOk);
+      ops[l] = sol;
+      // Scalar survives the breakdown by re-pivoting mid-run.
+      ASSERT_EQ(tran.run(o, &ops[l]), spice::SolveStatus::kOk);
+      EXPECT_GT(tran.stats().steps, 20);
+      ref_time[l] = tran.time();
+    }
+    const std::size_t scalar_points = tran.num_points();
+    std::vector<spice::TranLaneResult> results;
+    EXPECT_FALSE(tran.run_batch(o, lanes, [&](std::size_t l) { perturb(l); },
+                                ops, &results))
+        << "K=" << lanes << ": expected pivot-breakdown demotion";
+    // Demotion left the scalar-path state untouched...
+    EXPECT_EQ(tran.num_points(), scalar_points);
+    // ...and the scalar replay the caller performs reproduces the exact
+    // scalar results.
+    perturb(1);
+    ASSERT_EQ(tran.run(o, &ops[1]), spice::SolveStatus::kOk);
+    EXPECT_TRUE(bits_equal(tran.time(), ref_time[1]));
+  }
 }
 
 // ---------------------------------------------------------------------------
