@@ -8,6 +8,7 @@
 #include "src/circuits/step_metrics.hpp"
 #include "src/circuits/testbench.hpp"
 #include "src/common/error.hpp"
+#include "src/common/failure_ladder.hpp"
 #include "src/linalg/simd_caps.hpp"
 
 namespace moheco::circuits {
@@ -138,7 +139,12 @@ AmplifierEvaluator::Session::Session(const AmplifierEvaluator& parent,
     tran_ =
         std::make_unique<spice::TranSolver>(step_circuit_->netlist, backend);
   }
-  if (blob.empty() || !restore_warm_start(blob)) {
+  if (blob.empty()) {
+    nominal_perf_ = measure(/*is_nominal=*/true);
+  } else if (!restore_warm_start(blob)) {
+    // Corrupt/foreign/stale blob: reject it and re-measure cold.  This is a
+    // degradation rung, not an error -- the blob store is advisory.
+    fail::ladder_count(fail::Ladder::kWarmBlobRejected);
     nominal_perf_ = measure(/*is_nominal=*/true);
   }
 }
@@ -310,6 +316,7 @@ void AmplifierEvaluator::Session::evaluate_batch(std::span<const double> xis,
   std::vector<spice::OperatingPoint> ops;
   if (!dc_->solve_batch(dc_options, lanes, activate, nominal_solution_,
                         &ops)) {
+    fail::ladder_count(fail::Ladder::kLaneDemotion);
     for (std::size_t l = 0; l < lanes; ++l) {
       activate(l);
       out[l] = measure(/*is_nominal=*/false);
@@ -504,6 +511,7 @@ void AmplifierEvaluator::Session::evaluate_batch(std::span<const double> xis,
   }
   ac_->end_batch();
   if (!batch_ok) {
+    fail::ladder_count(fail::Ladder::kLaneDemotion);
     const Performance defaults;
     for (std::size_t l = 0; l < lanes; ++l) {
       out[l].a0_db = defaults.a0_db;
@@ -553,6 +561,7 @@ void AmplifierEvaluator::Session::measure_transient_batch(
   std::vector<spice::OperatingPoint> ops;
   if (!step_dc_->solve_batch(dc_options, idx.size(), activate_sub, warm,
                              &ops)) {
+    fail::ladder_count(fail::Ladder::kLaneDemotion);
     scalar_replay();  // includes any lane whose buffer DC fails scalar too
     return;
   }
@@ -566,6 +575,7 @@ void AmplifierEvaluator::Session::measure_transient_batch(
   std::vector<spice::TranLaneResult> results;
   if (!tran_->run_batch(tran_options, idx.size(), activate_sub, initial_ops,
                         &results)) {
+    fail::ladder_count(fail::Ladder::kLaneDemotion);
     scalar_replay();
     return;
   }
@@ -611,7 +621,11 @@ Performance AmplifierEvaluator::Session::measure_small_signal(
   std::vector<double> x;
   if (have_nominal_solution_) x = nominal_solution_;
   const spice::SolveStatus dc_status = dc_->solve(dc_options, &x);
-  if (dc_status != spice::SolveStatus::kOk) return perf;
+  if (dc_status != spice::SolveStatus::kOk) {
+    // End of the solver ladder: the sample stays invalid and fails specs.
+    fail::ladder_count(fail::Ladder::kSampleInfeasible);
+    return perf;
+  }
   if (is_nominal) {
     nominal_solution_ = x;
     have_nominal_solution_ = true;
@@ -739,6 +753,7 @@ void AmplifierEvaluator::Session::measure_transient(bool is_nominal,
   std::vector<double> x;
   if (have_step_nominal_) x = step_nominal_solution_;
   if (step_dc_->solve(dc_options, &x) != spice::SolveStatus::kOk) {
+    fail::ladder_count(fail::Ladder::kSampleInfeasible);
     return;  // slew/settling keep their spec-failing defaults
   }
   if (is_nominal) {
@@ -748,7 +763,10 @@ void AmplifierEvaluator::Session::measure_transient(bool is_nominal,
 
   spice::TranOptions tran_options = parent_->options_.tran;
   tran_options.t_stop = bc.step.t_stop;
-  if (tran_->run(tran_options, &x) != spice::SolveStatus::kOk) return;
+  if (tran_->run(tran_options, &x) != spice::SolveStatus::kOk) {
+    fail::ladder_count(fail::Ladder::kSampleInfeasible);
+    return;
+  }
 
   const std::size_t points = tran_->num_points();
   std::vector<double> vout(points);

@@ -21,6 +21,7 @@
 // Exit codes: 0 success, 1 runtime failure (bad deck, daemon unreachable,
 // job failed), 2 usage error (unknown/malformed arguments).
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,9 +30,11 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/common/json.hpp"
 #include "src/common/results_cache.hpp"
 #include "src/serve/client.hpp"
@@ -54,11 +57,18 @@ struct CliOptions {
   std::string deck_out_path;
   std::string warm_cache_dir;
   bool quiet = false;
+  /// Fail-point spec from --faults (armed during parse; recorded so main
+  /// knows not to also consult MOHECO_FAULTS).
+  std::string faults;
   // client mode
   std::string connect;
   bool detach = false;
   std::string op;  ///< empty = run/submit a job
   std::uint64_t job_id = 0;
+  long long deadline_ms = 0;   ///< daemon-enforced job deadline
+  int retries = 0;             ///< resubmit attempts after connection loss
+  int connect_timeout_ms = 0;  ///< 0 = block
+  int read_timeout_ms = 0;     ///< 0 = block
 };
 
 void print_usage() {
@@ -91,13 +101,32 @@ void print_usage() {
                "                        (local runs; the daemon has its own cache)\n"
                "  --quiet               suppress the text report\n"
                "\n"
+               "fault containment (see docs/faults.md):\n"
+               "  --checkpoint=DIR      crash-safe per-generation optimizer\n"
+               "                        checkpoints (local optimize runs)\n"
+               "  --resume              resume from --checkpoint=DIR's state;\n"
+               "                        bit-identical to the uninterrupted run\n"
+               "                        at --threads=1\n"
+               "  --faults=SPEC         arm deterministic fail points, e.g.\n"
+               "                        seed=7,sparse_factor=prob:0.05 (also read\n"
+               "                        from MOHECO_FAULTS when the flag is absent)\n"
+               "\n"
                "serving (moheco_d, see docs/protocol.md):\n"
                "  --connect=ENDPOINT    submit to a daemon instead of running locally\n"
                "                        (unix:PATH, a socket path, tcp:PORT, HOST:PORT)\n"
                "  --detach              return after the submit ack (prints the ack\n"
                "                        JSON with the job id; the job keeps running)\n"
                "  --op=NAME             control op: status|cancel|stats|ping|shutdown\n"
-               "  --job=N               job id for --op=status / --op=cancel\n");
+               "  --job=N               job id for --op=status / --op=cancel\n"
+               "  --deadline-ms=N       daemon-enforced wall-clock job deadline\n"
+               "                        (expired jobs fail with code 'deadline')\n"
+               "  --retries=N           reconnect + resubmit up to N times after a\n"
+               "                        connection loss or timeout (exponential\n"
+               "                        backoff; idempotent via the daemon's\n"
+               "                        result cache)\n"
+               "  --connect-timeout-ms=N / --read-timeout-ms=N\n"
+               "                        bound the daemon handshake / each response\n"
+               "                        wait (default 0 = block forever)\n");
 }
 
 bool parse_long(const std::string& text, long long* out) {
@@ -203,6 +232,41 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.deck_out_path = value;
     } else if (key == "--warm-cache") {
       cli.warm_cache_dir = value;
+    } else if (key == "--checkpoint") {
+      if (value.empty()) {
+        throw InvalidArgument("moheco_cli: missing directory in '" + arg + "'");
+      }
+      cli.moheco.checkpoint_dir = value;
+    } else if (arg == "--resume") {
+      cli.moheco.resume = true;
+    } else if (key == "--faults") {
+      // Armed here so grammar errors surface as usage errors (exit 2).
+      fail::arm(value);
+      cli.faults = value;
+    } else if (key == "--deadline-ms") {
+      cli.deadline_ms = need_int(arg, value);
+      if (cli.deadline_ms < 0) {
+        throw InvalidArgument("moheco_cli: deadline must be non-negative in '" +
+                              arg + "'");
+      }
+    } else if (key == "--retries") {
+      cli.retries = need_int32(arg, value);
+      if (cli.retries < 0) {
+        throw InvalidArgument("moheco_cli: retries must be non-negative in '" +
+                              arg + "'");
+      }
+    } else if (key == "--connect-timeout-ms") {
+      cli.connect_timeout_ms = need_int32(arg, value);
+      if (cli.connect_timeout_ms < 0) {
+        throw InvalidArgument("moheco_cli: timeout must be non-negative in '" +
+                              arg + "'");
+      }
+    } else if (key == "--read-timeout-ms") {
+      cli.read_timeout_ms = need_int32(arg, value);
+      if (cli.read_timeout_ms < 0) {
+        throw InvalidArgument("moheco_cli: timeout must be non-negative in '" +
+                              arg + "'");
+      }
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else if (key == "--connect") {
@@ -246,6 +310,18 @@ CliOptions parse_cli(int argc, char** argv) {
   if (cli.detach && cli.connect.empty()) {
     throw InvalidArgument("moheco_cli: '--detach' requires --connect");
   }
+  if (cli.moheco.resume && cli.moheco.checkpoint_dir.empty()) {
+    throw InvalidArgument("moheco_cli: '--resume' requires --checkpoint=DIR");
+  }
+  if (!cli.moheco.checkpoint_dir.empty() && !cli.connect.empty()) {
+    throw InvalidArgument(
+        "moheco_cli: '--checkpoint' is a local-run option (the daemon "
+        "checkpoints with its own --checkpoint flag)");
+  }
+  if (cli.deadline_ms > 0 && cli.connect.empty()) {
+    throw InvalidArgument("moheco_cli: '--deadline-ms' requires --connect "
+                          "(the daemon enforces deadlines)");
+  }
   if (cli.deck_path.empty()) {
     print_usage();
     throw InvalidArgument("moheco_cli: no deck file given");
@@ -277,6 +353,7 @@ serve::JobSpec make_spec(const CliOptions& cli) {
   spec.moheco = cli.moheco;
   spec.eval = cli.eval;
   spec.want_sized_deck = !cli.deck_out_path.empty();
+  spec.deadline_ms = cli.deadline_ms;
   return spec;
 }
 
@@ -378,8 +455,15 @@ int run_local(const CliOptions& cli) {
   return emit_outputs(cli, result.json, result.sized_deck);
 }
 
+serve::ClientOptions client_options(const CliOptions& cli) {
+  serve::ClientOptions opts;
+  opts.connect_timeout_ms = cli.connect_timeout_ms;
+  opts.read_timeout_ms = cli.read_timeout_ms;
+  return opts;
+}
+
 int run_control_op(const CliOptions& cli) {
-  serve::ServeClient client;
+  serve::ServeClient client(client_options(cli));
   client.connect(cli.connect);
   const std::string line =
       (cli.op == "status" || cli.op == "cancel")
@@ -396,17 +480,18 @@ int run_control_op(const CliOptions& cli) {
   return 0;
 }
 
-int run_connect(const CliOptions& cli) {
-  if (!cli.warm_cache_dir.empty()) {
-    std::fprintf(stderr,
-                 "moheco_cli: note: --warm-cache is ignored with --connect "
-                 "(the daemon keeps its own warm cache)\n");
-  }
-  const serve::JobSpec spec = make_spec(cli);
-  serve::ServeClient client;
+/// One submit-and-wait attempt; throws moheco::Error on connection loss or
+/// timeout (the retryable conditions), returns an exit code otherwise.
+int connect_attempt(const CliOptions& cli, const serve::JobSpec& spec) {
+  serve::ServeClient client(client_options(cli));
   client.connect(cli.connect);
   const JsonValue ack = client.request(serve::encode_submit(spec, ""));
   if (!ack["ok"].as_bool()) {
+    if (ack["code"].as_string() == serve::kErrRejected) {
+      // Queue full is transient by definition; let the retry loop back off.
+      throw Error("daemon at " + cli.connect +
+                  " rejected the job: " + ack["error"].as_string());
+    }
     std::fprintf(stderr, "moheco_cli: submit %s: %s\n",
                  ack["code"].as_string("failed").c_str(),
                  ack["error"].as_string().c_str());
@@ -434,7 +519,13 @@ int run_connect(const CliOptions& cli) {
     }
   }
   if (!terminal) {
-    throw Error("daemon closed the connection before the job finished");
+    if (client.timed_out()) {
+      throw Error("daemon at " + cli.connect + " went silent for more than " +
+                  std::to_string(cli.read_timeout_ms) +
+                  " ms while the job was running");
+    }
+    throw Error("daemon at " + cli.connect +
+                " closed the connection before the job finished");
   }
   const JsonValue& t = *terminal;
   if (!t["ok"].as_bool()) {
@@ -451,6 +542,37 @@ int run_connect(const CliOptions& cli) {
   return emit_outputs(cli, t["result"].raw(), t["sized_deck"].as_string());
 }
 
+int run_connect(const CliOptions& cli) {
+  if (!cli.warm_cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "moheco_cli: note: --warm-cache is ignored with --connect "
+                 "(the daemon keeps its own warm cache)\n");
+  }
+  const serve::JobSpec spec = make_spec(cli);
+  // Reconnect + resubmit loop.  Resubmitting the SAME spec is idempotent
+  // from the client's point of view: the daemon's result cache is keyed by
+  // deck content + options, so a job that completed while we were
+  // disconnected answers from cache; at worst a still-running duplicate
+  // recomputes the same deterministic result.
+  std::string last_error;
+  for (int attempt = 0; attempt <= cli.retries; ++attempt) {
+    if (attempt > 0) {
+      long long backoff_ms = 200LL << (attempt - 1);  // 200, 400, 800, ...
+      if (backoff_ms > 5000) backoff_ms = 5000;
+      std::fprintf(stderr, "moheco_cli: %s; retry %d/%d in %lld ms\n",
+                   last_error.c_str(), attempt, cli.retries, backoff_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    try {
+      return connect_attempt(cli, spec);
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+  }
+  throw Error(last_error + " (after " + std::to_string(cli.retries + 1) +
+              " attempt(s))");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -464,6 +586,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    // --faults wins over the environment; with neither, stay disarmed.
+    if (cli.faults.empty()) moheco::fail::arm_from_env();
     if (!cli.op.empty()) return run_control_op(cli);
     if (!cli.connect.empty()) return run_connect(cli);
     return run_local(cli);

@@ -18,6 +18,7 @@
 
 #include "src/circuits/evaluator.hpp"
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/common/log.hpp"
 #include "src/serve/daemon.hpp"
 
@@ -49,6 +50,14 @@ void print_usage() {
                "  --batch=K             evaluation batch width for jobs that do not\n"
                "                        set options.batch themselves (default 1;\n"
                "                        0 autoselects the host width)\n"
+               "  --deadline-ms=N       wall-clock deadline for jobs that do not set\n"
+               "                        options.deadline_ms themselves (default 0 =\n"
+               "                        none); expired jobs fail with code 'deadline'\n"
+               "  --checkpoint=DIR      per-job crash-safe optimizer checkpoints; a\n"
+               "                        daemon restarted mid-job resumes the job's\n"
+               "                        optimize run from its last generation\n"
+               "  --faults=SPEC         arm deterministic fail points (docs/faults.md;\n"
+               "                        also read from MOHECO_FAULTS)\n"
                "  --log=LEVEL           debug|info|warn|error|off (default warn)\n");
 }
 
@@ -129,6 +138,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.default_batch = parsed;
+    } else if (key == "--deadline-ms") {
+      if (!parse_int_flag(value, &parsed) || parsed < 0) {
+        std::fprintf(stderr, "moheco_d: bad deadline in '%s'\n", arg.c_str());
+        return 2;
+      }
+      options.default_deadline_ms = parsed;
+    } else if (key == "--checkpoint") {
+      if (value.empty()) {
+        std::fprintf(stderr, "moheco_d: missing directory in '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+      options.checkpoint_dir = value;
+    } else if (key == "--faults") {
+      try {
+        fail::arm(value);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "moheco_d: %s\n", e.what());
+        return 2;
+      }
     } else if (key == "--log") {
       try {
         set_log_level(parse_log_level(value));
@@ -147,6 +176,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "moheco_d: no listener configured\n");
     return 2;
   }
+  // MOHECO_FAULTS arms the chaos matrix in CI; an explicit --faults wins.
+  if (!fail::armed()) fail::arm_from_env();
 
   try {
     serve::Daemon daemon(options);

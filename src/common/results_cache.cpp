@@ -52,6 +52,16 @@ std::optional<ResultMap> ResultsCache::load(const std::string& key) const {
     std::vector<double> values;
     double v = 0.0;
     while (iss >> v) values.push_back(v);
+    // A row with unparseable bytes after its values means the file is
+    // truncated or corrupted (crash mid-write predating the atomic-rename
+    // discipline, disk damage, somebody's stray edit).  A cache must never
+    // serve a half-read row: warn and start empty -- everything it held is
+    // recomputable by definition.
+    if (!iss.eof()) {
+      log_warn("results cache: ignoring corrupted file ", file_for(key),
+               " (unparseable values for '", name, "'); starting empty");
+      return std::nullopt;
+    }
     results[name] = std::move(values);
   }
   if (results.empty()) return std::nullopt;

@@ -5,6 +5,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/opt/nelder_mead.hpp"
 #include "src/stats/rng.hpp"
 
@@ -47,7 +48,16 @@ void MohecoOptimizer::init_bounds(const mc::YieldProblem& problem) {
 
 void MohecoOptimizer::refresh_population_fitness() {
   for (Member& m : population_) {
-    if (m.tally) {
+    if (!m.tally) continue;
+    if (m.tally->failed()) {
+      // Quarantined mid-refinement (see EvalScheduler::flush): demote to
+      // the worst infeasible fitness so the next Deb selection replaces the
+      // member with anything healthy.  Default Fitness{} carries the
+      // sentinel violation (1e30), strictly worse than any real screen
+      // violation.
+      m.fitness = opt::Fitness{};
+      m.samples = m.tally->samples();
+    } else {
       m.fitness.yield = m.tally->mean();
       m.samples = m.tally->samples();
     }
@@ -90,12 +100,12 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   // refining under the same OCBA rule).
   std::vector<mc::CandidateYield*> ocba_pool;
   for (auto& c : candidates) {
-    if (c->nominal_feasible()) ocba_pool.push_back(c.get());
+    if (c->nominal_feasible() && !c->failed()) ocba_pool.push_back(c.get());
   }
   const int num_feasible_new = static_cast<int>(ocba_pool.size());
   if (options_.use_ocba) {
     for (Member& m : population_) {
-      if (m.tally) ocba_pool.push_back(m.tally.get());
+      if (m.tally && !m.tally->failed()) ocba_pool.push_back(m.tally.get());
     }
     // Stage-2 batches stay pending (streams already consumed) and run
     // merged with the next generation's screens -- see overlap_generations.
@@ -124,7 +134,14 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   for (std::size_t i = 0; i < count; ++i) {
     const mc::CandidateYield& c = *candidates[i];
     Evaluated& e = out[i];
-    if (c.nominal_feasible()) {
+    if (c.failed()) {
+      // Quarantined (session open / screen / estimation threw): worst
+      // infeasible fitness, so the trial never enters the population.  Not
+      // infeasible_fitness(nominal_violation()): a screen-quarantined
+      // candidate was never screened, so its violation is a meaningless 0
+      // that would outrank genuinely infeasible candidates.
+      e.fitness = opt::Fitness{};
+    } else if (c.nominal_feasible()) {
       e.fitness = opt::feasible_fitness(c.mean());
       e.samples = c.samples();
       e.tally = candidates[i];
@@ -153,6 +170,7 @@ MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
   mc::CandidateYield* one[] = {candidate.get()};
   scheduler_->screen(one, sims_);
   Evaluated e;
+  if (candidate->failed()) return e;  // quarantined: worst infeasible
   if (!candidate->nominal_feasible()) {
     e.fitness = opt::infeasible_fitness(candidate->nominal_violation());
     return e;
@@ -160,6 +178,7 @@ MohecoOptimizer::Evaluated MohecoOptimizer::evaluate_accurate(
   const int n_report =
       options_.use_ocba ? options_.estimation.n_max : options_.fixed_budget;
   scheduler_->refine(*candidate, n_report, sims_, options_.estimation.mc);
+  if (candidate->failed()) return e;  // quarantined mid-refinement
   e.fitness = opt::feasible_fitness(candidate->mean());
   e.samples = candidate->samples();
   e.tally = std::move(candidate);
@@ -236,35 +255,55 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     return result;
   }
 
-  // --- Initialization (Step 0). ---
-  std::vector<std::vector<double>> initial;
-  initial.reserve(static_cast<std::size_t>(options_.population));
-  for (int i = 0; i < options_.population; ++i) {
-    initial.push_back(opt::random_point(bounds_, rng_));
-  }
-  GenerationTrace init_trace;
-  init_trace.generation = 0;
-  std::vector<Evaluated> evaluated = evaluate_batch(initial, &init_trace);
-  population_.resize(initial.size());
-  for (std::size_t i = 0; i < initial.size(); ++i) {
-    population_[i].x = std::move(initial[i]);
-    population_[i].fitness = evaluated[i].fitness;
-    population_[i].samples = evaluated[i].samples;
-    population_[i].tally = std::move(evaluated[i].tally);
-  }
-  {
-    const Member& b = population_[best_index()];
-    init_trace.best_yield = b.fitness.yield;
-    init_trace.best_feasible = b.fitness.feasible;
-    init_trace.sims_cumulative = sims_.total();
-    result.trace.push_back(std::move(init_trace));
-  }
-
-  double best_scalar = opt::deb_scalar(population_[best_index()].fitness);
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  double best_scalar = 0.0;
   int stagnant_ls = 0;    // generations since improvement (local search)
   int stagnant_stop = 0;  // generations since improvement (stopping rule)
+  int start_gen = 1;
+  bool loop_done = false;  // restored loop already hit its stopping rule
 
-  for (int gen = 1; gen <= max_generations; ++gen) {
+  bool resumed = false;
+  if (checkpointing && options_.resume) {
+    resumed = resume_from_checkpoint(result, best_scalar, stagnant_ls,
+                                     stagnant_stop, start_gen, loop_done);
+    if (resumed) {
+      log_info("resumed from checkpoint at generation ", start_gen - 1,
+               loop_done ? " (loop complete, replaying final report)" : "");
+    }
+  }
+
+  if (!resumed) {
+    // --- Initialization (Step 0). ---
+    std::vector<std::vector<double>> initial;
+    initial.reserve(static_cast<std::size_t>(options_.population));
+    for (int i = 0; i < options_.population; ++i) {
+      initial.push_back(opt::random_point(bounds_, rng_));
+    }
+    GenerationTrace init_trace;
+    init_trace.generation = 0;
+    std::vector<Evaluated> evaluated = evaluate_batch(initial, &init_trace);
+    population_.resize(initial.size());
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      population_[i].x = std::move(initial[i]);
+      population_[i].fitness = evaluated[i].fitness;
+      population_[i].samples = evaluated[i].samples;
+      population_[i].tally = std::move(evaluated[i].tally);
+    }
+    {
+      const Member& b = population_[best_index()];
+      init_trace.best_yield = b.fitness.yield;
+      init_trace.best_feasible = b.fitness.feasible;
+      init_trace.sims_cumulative = sims_.total();
+      result.trace.push_back(std::move(init_trace));
+    }
+    best_scalar = opt::deb_scalar(population_[best_index()].fitness);
+    if (checkpointing) {
+      write_checkpoint(0, false, result, best_scalar, stagnant_ls,
+                       stagnant_stop);
+    }
+  }
+
+  for (int gen = start_gen; !loop_done && gen <= max_generations; ++gen) {
     // Cooperative cancellation: polled at the generation boundary, i.e.
     // right after the previous generation's flush points.  The deferred
     // stage-2 batches are drained below (outside the loop) either way.
@@ -287,7 +326,7 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
         opt::de_generation(member_xs, best, options_.de, bounds_, rng_);
 
     // Steps 3-7: screening + two-stage (or fixed-budget) estimation.
-    evaluated = evaluate_batch(trials, &trace);
+    std::vector<Evaluated> evaluated = evaluate_batch(trials, &trace);
 
     // Step 8: one-to-one Deb selection.
     for (std::size_t i = 0; i < population_.size(); ++i) {
@@ -352,11 +391,21 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
     // Step 11: stopping rule.
     const bool full_yield = b.fitness.feasible && b.fitness.yield >= 1.0 &&
                             b.samples >= n_report;
-    if (full_yield) {
-      result.reached_full_yield = true;
-      break;
+    if (full_yield) result.reached_full_yield = true;
+    const bool stop = full_yield ||
+                      stagnant_stop >= options_.stop_stagnation ||
+                      gen == max_generations;
+    // Checkpoint boundary: drain the deferred stage-2 batches (they would
+    // otherwise land merged with the next generation's screens -- flush
+    // boundaries never change tallies, so the estimates are identical),
+    // normalize the scheduler and persist the complete state.  Runs written
+    // after the stopping decision, so a kill at ANY instant resumes either
+    // from this generation or the previous one.
+    if (checkpointing) {
+      write_checkpoint(gen, stop, result, best_scalar, stagnant_ls,
+                       stagnant_stop);
     }
-    if (stagnant_stop >= options_.stop_stagnation) break;
+    if (stop) break;
   }
 
   // Drain the last generation's deferred stage-2 batches and fold them into
@@ -386,8 +435,122 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
   result.best = std::move(best);
   result.sim_breakdown = sims_.breakdown();
   result.sched_breakdown = sims_.sched_breakdown();
+  result.fail_breakdown = sims_.fail_breakdown();
   result.total_simulations = result.sim_breakdown.total();
   return result;
+}
+
+void MohecoOptimizer::write_checkpoint(int generation, bool done,
+                                       const MohecoResult& result,
+                                       double best_scalar, int stagnant_ls,
+                                       int stagnant_stop) {
+  // Land the deferred stage-2 batches first: a checkpoint must capture
+  // tallies, not in-flight jobs (stream positions are already consumed, so
+  // dropping pending work would lose samples forever).  Flush boundaries
+  // never change tallies -- see overlap_generations.
+  scheduler_->flush(sims_);
+  refresh_population_fitness();
+
+  Checkpoint ck;
+  ck.seed = options_.seed;
+  ck.dim = bounds_.lo.size();
+  ck.population = static_cast<int>(population_.size());
+  ck.use_ocba = options_.use_ocba;
+  ck.generation = generation;
+  ck.done = done;
+  ck.reached_full_yield = result.reached_full_yield;
+  ck.result_generations = result.generations;
+  ck.best_scalar = best_scalar;
+  ck.stagnant_ls = stagnant_ls;
+  ck.stagnant_stop = stagnant_stop;
+  ck.stream_counter = stream_counter_;
+  ck.rng = rng_.state();
+  ck.last_local_search_x = last_local_search_x_;
+  ck.sims = sims_.breakdown();
+  ck.sched = sims_.sched_breakdown();
+  ck.fails = sims_.fail_breakdown();
+  ck.members.reserve(population_.size());
+  for (const Member& m : population_) {
+    Checkpoint::MemberState ms;
+    ms.x = m.x;
+    ms.feasible = m.fitness.feasible;
+    ms.violation = m.fitness.violation;
+    ms.yield = m.fitness.yield;
+    ms.samples = m.samples;
+    if (m.tally) {
+      ms.has_tally = true;
+      ms.stream_seed = m.tally->stream_seed();
+      ms.tally_samples = m.tally->samples();
+      ms.tally_passes = m.tally->passes();
+      ms.tally_batches = m.tally->batches();
+      ms.screened = m.tally->screened();
+      ms.nominal_pass = m.tally->nominal_feasible();
+      ms.nominal_violation = m.tally->nominal_violation();
+      ms.tally_failed = m.tally->failed();
+      ms.fail_reason = static_cast<int>(m.tally->fail_reason());
+    }
+    ck.members.push_back(std::move(ms));
+  }
+  // Normalizing the scheduler AFTER the flush: live sessions park into the
+  // blob store and the caches go cold, exactly the state a resumed run
+  // rebuilds from this snapshot.
+  ck.blobs = scheduler_->checkpoint_blobs();
+  save_checkpoint(options_.checkpoint_dir, ck);
+}
+
+bool MohecoOptimizer::resume_from_checkpoint(MohecoResult& result,
+                                             double& best_scalar,
+                                             int& stagnant_ls,
+                                             int& stagnant_stop,
+                                             int& start_gen, bool& loop_done) {
+  std::optional<Checkpoint> loaded = load_checkpoint(options_.checkpoint_dir);
+  if (!loaded) return false;  // no checkpoint yet: fresh start
+  const Checkpoint& ck = *loaded;
+  require(ck.seed == options_.seed,
+          "checkpoint: seed does not match this run");
+  require(ck.dim == bounds_.lo.size(),
+          "checkpoint: design dimension does not match this problem");
+  require(ck.population == options_.population &&
+              ck.members.size() == static_cast<std::size_t>(ck.population),
+          "checkpoint: population size does not match this run");
+  require(ck.use_ocba == options_.use_ocba,
+          "checkpoint: estimation mode does not match this run");
+
+  population_.clear();
+  population_.reserve(ck.members.size());
+  for (const Checkpoint::MemberState& ms : ck.members) {
+    require(ms.x.size() == ck.dim, "checkpoint: member dimension mismatch");
+    Member m;
+    m.x = ms.x;
+    m.fitness.feasible = ms.feasible;
+    m.fitness.violation = ms.violation;
+    m.fitness.yield = ms.yield;
+    m.samples = ms.samples;
+    if (ms.has_tally) {
+      m.tally = std::make_shared<mc::CandidateYield>(*problem_, ms.x,
+                                                     ms.stream_seed);
+      mc::SampleResult nominal;
+      nominal.pass = ms.nominal_pass;
+      nominal.violation = ms.nominal_violation;
+      m.tally->restore(ms.tally_samples, ms.tally_passes, ms.tally_batches,
+                       ms.screened, nominal, ms.tally_failed,
+                       static_cast<mc::FailEvent>(ms.fail_reason));
+    }
+    population_.push_back(std::move(m));
+  }
+  rng_.set_state(ck.rng);
+  stream_counter_ = ck.stream_counter;
+  last_local_search_x_ = ck.last_local_search_x;
+  sims_.restore(ck.sims, ck.sched, ck.fails);
+  scheduler_->import_blobs(*problem_, ck.blobs);
+  result.generations = ck.result_generations;
+  result.reached_full_yield = ck.reached_full_yield;
+  best_scalar = ck.best_scalar;
+  stagnant_ls = ck.stagnant_ls;
+  stagnant_stop = ck.stagnant_stop;
+  start_gen = ck.generation + 1;
+  loop_done = ck.done;
+  return true;
 }
 
 }  // namespace moheco::core

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/parallel.hpp"
@@ -74,6 +75,22 @@ struct MohecoOptions {
   /// drains the deferred batches in a separate flush at the same point).
   bool overlap_generations = true;
   std::uint64_t seed = 1;
+  /// Crash-safe checkpointing: when non-empty, the optimizer writes its
+  /// full generation-granular state (population, tallies, RNG streams,
+  /// counters, warm-blob store) into this directory after every generation,
+  /// each file landing via atomic temp-file + rename.  Checkpoint mode
+  /// normalizes the scheduler at each generation boundary (live sessions
+  /// parked to the blob store) so a resumed run rebuilds the exact same
+  /// scheduler state; MC tallies and reported results are unchanged, but
+  /// warm-path scheduler event counts differ from a non-checkpointed run.
+  std::string checkpoint_dir;
+  /// With `resume`, run() first tries to load `checkpoint_dir`'s state and
+  /// continues from the last completed generation; the final result is
+  /// bit-identical to the uninterrupted run (single-threaded; with threads
+  /// the MC tallies still match but timing-dependent scheduler event
+  /// counters may differ).  A missing checkpoint starts fresh; a checkpoint
+  /// from a different problem/options shape throws.
+  bool resume = false;
   /// Cooperative cancellation hook, polled at generation boundaries (after
   /// every flush point, before the next generation's work is enqueued).
   /// When it returns true the run stops early: pending deferred batches are
@@ -124,6 +141,10 @@ struct MohecoResult {
   /// Warm-path scheduler events of the run (session cache hits, cold/warm
   /// opens, affinity hits, steals, migrations).
   mc::SchedBreakdown sched_breakdown;
+  /// Candidates quarantined by the fault-containment layer, split by where
+  /// the failure surfaced (session open / estimation / screen).  All zero
+  /// on a healthy run.
+  mc::FailBreakdown fail_breakdown;
   int generations = 0;
   bool reached_full_yield = false;
   /// True when MohecoOptions::should_stop ended the run early; `best` is
@@ -178,6 +199,18 @@ class MohecoOptimizer {
 
   void init_bounds(const mc::YieldProblem& problem);
   std::size_t best_index() const;
+  /// Checkpoint-mode generation boundary: drains the deferred stage-2
+  /// batches, normalizes the scheduler (EvalScheduler::checkpoint_blobs)
+  /// and atomically writes the full run state to options_.checkpoint_dir.
+  void write_checkpoint(int generation, bool done, const MohecoResult& result,
+                        double best_scalar, int stagnant_ls,
+                        int stagnant_stop);
+  /// Restores the run state saved by write_checkpoint.  Returns false when
+  /// no checkpoint exists (fresh start); throws when one exists but does
+  /// not match this run's problem/options shape.
+  bool resume_from_checkpoint(MohecoResult& result, double& best_scalar,
+                              int& stagnant_ls, int& stagnant_stop,
+                              int& start_gen, bool& loop_done);
   /// Folds each surviving member's tally back into its fitness/samples.
   /// Must run after every flush point that can land deferred stage-2
   /// samples, or selection would read stale yields.

@@ -62,6 +62,32 @@ class CandidateYield {
   void refine(long long count, ThreadPool& pool, SimCounter& sims,
               const McOptions& options);
 
+  /// Quarantine marking (EvalScheduler): the candidate's evaluation failed
+  /// irrecoverably this run; optimizers treat it as infeasible.  The tally
+  /// collected so far stays valid.
+  void mark_failed(FailEvent reason) {
+    failed_ = true;
+    fail_reason_ = reason;
+  }
+  bool failed() const { return failed_; }
+  FailEvent fail_reason() const { return fail_reason_; }
+
+  /// Checkpoint restore: overwrites the tally counters, screen state and
+  /// quarantine flag with previously saved values.  The sample stream
+  /// position is implied by `batches` (batch b is a pure function of the
+  /// stream seed and b).
+  void restore(long long samples, long long passes, long long batches,
+               bool screened, const SampleResult& nominal, bool failed,
+               FailEvent fail_reason) {
+    samples_ = samples;
+    passes_ = passes;
+    batches_ = batches;
+    screened_ = screened;
+    nominal_ = nominal;
+    failed_ = failed;
+    fail_reason_ = fail_reason;
+  }
+
   long long samples() const { return samples_; }
   long long passes() const { return passes_; }
   long long batches() const { return batches_; }
@@ -88,6 +114,8 @@ class CandidateYield {
   long long batches_ = 0;
   bool screened_ = false;
   SampleResult nominal_;
+  bool failed_ = false;
+  FailEvent fail_reason_ = FailEvent::kQuarantineEval;
 };
 
 /// Reference yield estimate with `count` fresh samples (used to compute the

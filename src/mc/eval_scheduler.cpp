@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/common/hash.hpp"
 
 namespace moheco::mc {
@@ -95,6 +96,41 @@ std::size_t EvalScheduler::import_blobs(const YieldProblem& problem,
   return imported;
 }
 
+ResultMap EvalScheduler::checkpoint_blobs() {
+  require(pending_.empty(),
+          "EvalScheduler::checkpoint_blobs: flush pending jobs first");
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  // Park every live session, then drop the worker caches entirely: a
+  // resumed run starts with cold caches, so the checkpointed run must
+  // continue from cold caches too for the eviction/affinity decisions (and
+  // thus the sched event counts) to match from here on.
+  for (WorkerCache& cache : caches_) {
+    for (CacheEntry& entry : cache.entries) {
+      if (entry.session) {
+        park_blob(entry.x_hash, entry.problem, *entry.session);
+        live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    cache.entries.clear();
+    cache.tick = 0;
+  }
+  preferred_.clear();
+  std::lock_guard<std::mutex> lock(blob_mutex_);
+  ResultMap out;
+  for (const auto& [hash, entry] : blobs_) {
+    out.emplace(std::to_string(hash), entry.blob);
+  }
+  // Renumber the blob LRU ticks to what import_blobs() on a fresh scheduler
+  // assigns when fed this snapshot: 1..N in sorted decimal-key order.
+  blob_tick_ = 0;
+  for (const auto& [key, blob] : out) {
+    const std::uint64_t hash = std::strtoull(key.c_str(), nullptr, 10);
+    auto it = blobs_.find(hash);
+    if (it != blobs_.end()) it->second.tick = ++blob_tick_;
+  }
+  return out;
+}
+
 void EvalScheduler::forget_problem(const YieldProblem* problem) {
   std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
   for (WorkerCache& cache : caches_) {
@@ -169,6 +205,15 @@ YieldProblem::Session* EvalScheduler::session_for(int worker,
       blob = it->second.blob;  // copy: the entry may be evicted concurrently
     }
   }
+  if (!blob.empty() && fail::should_fail(fail::Site::kWarmBlob)) {
+    // Simulated blob corruption: truncate the copy so open_warm()'s
+    // validation rejects it and the session re-measures cold (the
+    // warm_blob_rejected ladder rung).
+    blob.resize(blob.size() / 2);
+  }
+  if (fail::should_fail(fail::Site::kSessionOpen)) {
+    throw Error("failpoint: session_open");
+  }
   // open()/open_warm() may throw (e.g. a failing nominal solve); the slot is
   // then left empty (null session, skipped by lookups and recycled first by
   // the LRU scan), keeping the cache and the live-session accounting valid.
@@ -195,7 +240,7 @@ YieldProblem::Session* EvalScheduler::session_for(int worker,
 
 void EvalScheduler::enqueue(CandidateYield& tally, long long count,
                             const McOptions& options, SimPhase phase) {
-  if (count <= 0) return;
+  if (count <= 0 || tally.failed()) return;
   PendingJob job;
   job.tally = &tally;
   job.samples = tally.next_batch(count, options);
@@ -206,7 +251,7 @@ void EvalScheduler::enqueue(CandidateYield& tally, long long count,
 
 void EvalScheduler::enqueue_samples(CandidateYield& tally,
                                     linalg::MatrixD samples, SimPhase phase) {
-  if (samples.rows() == 0) return;
+  if (samples.rows() == 0 || tally.failed()) return;
   require(samples.cols() == tally.problem().noise_dim(),
           "EvalScheduler: sample batch dimension mismatch");
   PendingJob job;
@@ -218,7 +263,7 @@ void EvalScheduler::enqueue_samples(CandidateYield& tally,
 }
 
 void EvalScheduler::enqueue_screen(CandidateYield& tally) {
-  if (tally.screened()) return;
+  if (tally.screened() || tally.failed()) return;
   PendingJob job;
   job.tally = &tally;
   job.screen = true;
@@ -313,46 +358,66 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
   }
 
   // Per-task pass counts summed sequentially afterwards: integer tallies in
-  // a fixed order, so the result is independent of scheduling.  On an
-  // evaluation error the queued jobs are dropped (their stream positions
-  // stay consumed, nothing is tallied) so a later flush does not replay the
-  // failing jobs.
+  // a fixed order, so the result is independent of scheduling.  A throwing
+  // session or evaluation quarantines ITS job only: the job's remaining
+  // tasks are skipped, the candidate is marked failed with a reason code,
+  // and every other job tallies exactly as if the failing one had never
+  // been enqueued.  job_failure[j] holds 0 (healthy) or 1 + FailEvent.
   std::vector<long long> task_passes(tasks.size(), 0);
   std::vector<int> task_worker(tasks.size(), -1);
   std::vector<SampleResult> screen_results(pending_.size());
+  std::vector<std::atomic<int>> job_failure(pending_.size());
   const auto evaluate_task = [&](int worker, std::size_t t) {
     const Task& task = tasks[t];
     PendingJob& job = pending_[task.job];
-    YieldProblem::Session* session = session_for(worker, *job.tally);
-    task_worker[t] = worker;
-    if (job.screen) {
-      screen_results[task.job] = session->evaluate({});
+    if (job_failure[task.job].load(std::memory_order_relaxed) != 0) return;
+    YieldProblem::Session* session = nullptr;
+    try {
+      session = session_for(worker, *job.tally);
+    } catch (...) {
+      job_failure[task.job].store(
+          1 + static_cast<int>(FailEvent::kQuarantineOpen),
+          std::memory_order_relaxed);
       return;
     }
-    const std::size_t dim = job.tally->problem().noise_dim();
-    // Hand the session K-lane blocks of this candidate's samples (rows are
-    // contiguous in the row-major sample matrix).  Batched results are
-    // lane-identical to scalar ones, so the tally is independent of the
-    // session's batch width -- mixed widths across workers are fine.
-    const std::size_t width =
-        std::max<std::size_t>(1, session->preferred_batch());
-    long long passes = 0;
-    std::vector<SampleResult> results;
-    for (std::size_t i = task.begin; i < task.end;) {
-      const std::size_t lanes = std::min(width, task.end - i);
-      if (lanes == 1) {
-        if (session->evaluate({job.samples.row(i), dim}).pass) ++passes;
-      } else {
-        results.resize(lanes);
-        session->evaluate_batch({job.samples.row(i), lanes * dim}, lanes,
-                                results);
-        for (const SampleResult& r : results) {
-          if (r.pass) ++passes;
-        }
+    task_worker[t] = worker;
+    try {
+      if (job.screen) {
+        screen_results[task.job] = session->evaluate({});
+        return;
       }
-      i += lanes;
+      const std::size_t dim = job.tally->problem().noise_dim();
+      // Hand the session K-lane blocks of this candidate's samples (rows are
+      // contiguous in the row-major sample matrix).  Batched results are
+      // lane-identical to scalar ones, so the tally is independent of the
+      // session's batch width -- mixed widths across workers are fine.
+      const std::size_t width =
+          std::max<std::size_t>(1, session->preferred_batch());
+      long long passes = 0;
+      std::vector<SampleResult> results;
+      for (std::size_t i = task.begin; i < task.end;) {
+        const std::size_t lanes = std::min(width, task.end - i);
+        if (lanes == 1) {
+          if (session->evaluate({job.samples.row(i), dim}).pass) ++passes;
+        } else {
+          results.resize(lanes);
+          session->evaluate_batch({job.samples.row(i), lanes * dim}, lanes,
+                                  results);
+          for (const SampleResult& r : results) {
+            if (r.pass) ++passes;
+          }
+        }
+        i += lanes;
+      }
+      task_passes[t] = passes;
+    } catch (...) {
+      job_failure[task.job].store(
+          1 + static_cast<int>(job.screen ? FailEvent::kQuarantineScreen
+                                          : FailEvent::kQuarantineEval),
+          std::memory_order_relaxed);
+      // The task's partial result must not count: its job is dropped whole.
+      task_worker[t] = -1;
     }
-    task_passes[t] = passes;
   };
 
   const long long hits_before = session_hits();
@@ -371,6 +436,8 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
       pool_->parallel_for(tasks.size(), evaluate_task, /*grain=*/1);
     }
   } catch (...) {
+    // Pool-infrastructure failure (evaluation errors are contained per job
+    // above): drop the whole job set untallied, keep the scheduler usable.
     pending_.clear();
     retained_.clear();
     throw;
@@ -378,13 +445,19 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
 
   // Affinity accounting + migration: if every task of a job ran on one
   // worker that is not the preferred one, re-point the candidate there so
-  // the next flush finds the session already warm.
+  // the next flush finds the session already warm.  Quarantined jobs are
+  // excluded entirely -- their skipped tasks never ran anywhere, so they
+  // must not count as hits or steals, and a failed job must not migrate
+  // its candidate.
   long long flush_hits = 0, flush_steals = 0, flush_migrations = 0;
   {
     std::size_t t = 0;
     for (std::size_t j = 0; j < pending_.size(); ++j) {
+      const bool quarantined =
+          job_failure[j].load(std::memory_order_relaxed) != 0;
       int uniform_worker = -2;  // -2: unset, -1: mixed
       for (; t < tasks.size() && tasks[t].job == j; ++t) {
+        if (quarantined || task_worker[t] < 0) continue;
         if (task_worker[t] == pending_[j].preferred) {
           ++flush_hits;
         } else {
@@ -414,6 +487,27 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
     std::size_t t = 0;
     for (std::size_t j = 0; j < pending_.size(); ++j) {
       PendingJob& job = pending_[j];
+      const int failure = job_failure[j].load(std::memory_order_relaxed);
+      if (failure != 0) {
+        // Quarantine: nothing of this job is tallied (a partial tally would
+        // bias the yield estimate), but the rows that did complete before
+        // the failure still count as spent simulation budget.
+        long long done = 0;
+        for (; t < tasks.size() && tasks[t].job == j; ++t) {
+          if (!job.screen && task_worker[t] >= 0) {
+            done += static_cast<long long>(tasks[t].end - tasks[t].begin);
+          }
+        }
+        const FailEvent reason = static_cast<FailEvent>(failure - 1);
+        job.tally->mark_failed(reason);
+        sims.add_fail(reason);
+        if (done > 0) {
+          const SimPhase counted =
+              job.phase == SimPhase::kOther ? phase : job.phase;
+          phase_totals[static_cast<std::size_t>(counted)] += done;
+        }
+        continue;
+      }
       if (job.screen) {
         ++t;
         job.tally->record_nominal(screen_results[j], sims);

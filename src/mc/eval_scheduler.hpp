@@ -124,8 +124,12 @@ class EvalScheduler {
   /// enqueued with kOther fall back to `phase`); screens always count under
   /// kScreen.  Scheduler events (cache hits, cold/warm opens, affinity
   /// hits, steals, migrations) incurred by the flush are added to `sims` as
-  /// well.  If an evaluation throws, the exception propagates and every
-  /// queued job is dropped untallied (the scheduler stays usable).
+  /// well.  A throwing session open or evaluation is contained to its own
+  /// job: the candidate is marked failed with a FailEvent reason code (and
+  /// counted in `sims`), its job is dropped untallied, and every other job
+  /// tallies bit-identically to a flush that never contained the failing
+  /// one.  Only pool-infrastructure errors still propagate (the whole job
+  /// set is then dropped and the scheduler stays usable).
   void flush(SimCounter& sims, SimPhase phase = SimPhase::kOther);
 
   /// Drops every queued job untallied (their stream positions stay
@@ -177,6 +181,17 @@ class EvalScheduler {
   /// back to a cold open.  Entries beyond the store capacity are dropped.
   /// Returns the number of blobs imported.
   std::size_t import_blobs(const YieldProblem& problem, const ResultMap& blobs);
+
+  /// Checkpoint-mode normalization (no pending jobs allowed): parks every
+  /// live session into the blob store, clears the worker caches and the
+  /// sticky-affinity table, and renumbers the blob LRU ticks in sorted
+  /// blob-key order starting from a reset tick counter.  Afterwards the
+  /// scheduler's observable state is exactly what a fresh scheduler gets
+  /// from import_blobs() of this store's snapshot -- which is what a
+  /// resumed run does -- so a checkpointed run and its resume see the same
+  /// cache/eviction/affinity decisions from this boundary on.  Returns the
+  /// export_blobs()-format snapshot for persisting.
+  ResultMap checkpoint_blobs();
 
   /// Drops every cached session and parked blob attributed to `problem`.
   /// Callers that destroy a problem while the scheduler lives on (the

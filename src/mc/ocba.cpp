@@ -133,6 +133,10 @@ std::vector<std::size_t> two_stage_estimate(
     long long allowance = round_total - used;
     long long added = 0;
     for (std::size_t i = 0; i < s && allowance > 0; ++i) {
+      // A quarantined candidate can never absorb budget (enqueue drops its
+      // jobs); counting its allocation as progress would spin this loop
+      // forever re-offering samples its tally cannot take.
+      if (candidates[i]->failed()) continue;
       long long extra = target[i] - candidates[i]->samples();
       // Never exceed the stage-2 cap during stage 1.
       extra = std::min(extra,
@@ -156,6 +160,7 @@ std::vector<std::size_t> two_stage_estimate(
   // as one batched job set (promotion decisions only read stage-1 tallies,
   // so they are unaffected by deferring the evaluation to the flush).
   for (std::size_t i = 0; i < s; ++i) {
+    if (candidates[i]->failed()) continue;  // quarantined: never promoted
     if (candidates[i]->mean() > options.stage2_threshold &&
         candidates[i]->samples() < options.n_max) {
       scheduler.enqueue(*candidates[i],

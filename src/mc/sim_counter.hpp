@@ -36,6 +36,44 @@ enum class SchedEvent : int {
 
 inline constexpr std::size_t kNumSchedEvents = 6;
 
+/// Fault-containment events: why a candidate was quarantined during a
+/// flush.  Each quarantine marks exactly one candidate failed with one of
+/// these reason codes (see EvalScheduler); healthy runs record none.
+enum class FailEvent : int {
+  kQuarantineOpen = 0,  ///< session open()/open_warm() threw
+  kQuarantineEval,      ///< evaluate()/evaluate_batch() threw mid-flush
+  kQuarantineScreen,    ///< nominal screen evaluation threw
+};
+
+inline constexpr std::size_t kNumFailEvents = 3;
+
+inline const char* to_string(FailEvent event) {
+  switch (event) {
+    case FailEvent::kQuarantineOpen: return "quarantine_open";
+    case FailEvent::kQuarantineEval: return "quarantine_eval";
+    case FailEvent::kQuarantineScreen: return "quarantine_screen";
+  }
+  return "?";
+}
+
+/// A plain (non-atomic) snapshot of the quarantine totals.
+struct FailBreakdown {
+  long long quarantine_open = 0;
+  long long quarantine_eval = 0;
+  long long quarantine_screen = 0;
+
+  long long total() const {
+    return quarantine_open + quarantine_eval + quarantine_screen;
+  }
+
+  FailBreakdown& operator+=(const FailBreakdown& rhs) {
+    quarantine_open += rhs.quarantine_open;
+    quarantine_eval += rhs.quarantine_eval;
+    quarantine_screen += rhs.quarantine_screen;
+    return *this;
+  }
+};
+
 inline const char* to_string(SchedEvent event) {
   switch (event) {
     case SchedEvent::kSessionHit: return "session_hits";
@@ -129,6 +167,24 @@ class SimCounter {
         std::memory_order_relaxed);
   }
 
+  void add_fail(FailEvent event, long long n = 1) {
+    fails_[static_cast<std::size_t>(event)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  long long fail_total(FailEvent event) const {
+    return fails_[static_cast<std::size_t>(event)].load(
+        std::memory_order_relaxed);
+  }
+
+  FailBreakdown fail_breakdown() const {
+    FailBreakdown b;
+    b.quarantine_open = fail_total(FailEvent::kQuarantineOpen);
+    b.quarantine_eval = fail_total(FailEvent::kQuarantineEval);
+    b.quarantine_screen = fail_total(FailEvent::kQuarantineScreen);
+    return b;
+  }
+
   SchedBreakdown sched_breakdown() const {
     SchedBreakdown b;
     b.session_hits = event_total(SchedEvent::kSessionHit);
@@ -153,11 +209,43 @@ class SimCounter {
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     for (auto& e : events_) e.store(0, std::memory_order_relaxed);
+    for (auto& f : fails_) f.store(0, std::memory_order_relaxed);
+  }
+
+  /// Checkpoint restore: overwrites every counter from saved snapshots.
+  void restore(const SimBreakdown& sim, const SchedBreakdown& sched,
+               const FailBreakdown& fail) {
+    auto set = [](std::atomic<long long>& c, long long v) {
+      c.store(v, std::memory_order_relaxed);
+    };
+    set(counts_[static_cast<std::size_t>(SimPhase::kScreen)], sim.screen);
+    set(counts_[static_cast<std::size_t>(SimPhase::kStage1)], sim.stage1);
+    set(counts_[static_cast<std::size_t>(SimPhase::kOcba)], sim.ocba);
+    set(counts_[static_cast<std::size_t>(SimPhase::kStage2)], sim.stage2);
+    set(counts_[static_cast<std::size_t>(SimPhase::kOther)], sim.other);
+    set(events_[static_cast<std::size_t>(SchedEvent::kSessionHit)],
+        sched.session_hits);
+    set(events_[static_cast<std::size_t>(SchedEvent::kSessionOpenCold)],
+        sched.cold_opens);
+    set(events_[static_cast<std::size_t>(SchedEvent::kSessionOpenWarm)],
+        sched.warm_opens);
+    set(events_[static_cast<std::size_t>(SchedEvent::kAffinityHit)],
+        sched.affinity_hits);
+    set(events_[static_cast<std::size_t>(SchedEvent::kSteal)], sched.steals);
+    set(events_[static_cast<std::size_t>(SchedEvent::kMigration)],
+        sched.migrations);
+    set(fails_[static_cast<std::size_t>(FailEvent::kQuarantineOpen)],
+        fail.quarantine_open);
+    set(fails_[static_cast<std::size_t>(FailEvent::kQuarantineEval)],
+        fail.quarantine_eval);
+    set(fails_[static_cast<std::size_t>(FailEvent::kQuarantineScreen)],
+        fail.quarantine_screen);
   }
 
  private:
   std::atomic<long long> counts_[kNumSimPhases] = {};
   std::atomic<long long> events_[kNumSchedEvents] = {};
+  std::atomic<long long> fails_[kNumFailEvents] = {};
 };
 
 }  // namespace moheco::mc

@@ -1,7 +1,9 @@
 #include "src/serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,7 +18,58 @@ namespace moheco::serve {
 
 namespace {
 
-int connect_unix(const std::string& path) {
+/// connect() with an optional bound.  timeout_ms <= 0 blocks (historical
+/// behavior); otherwise the socket goes non-blocking for the handshake and
+/// a poll() bounds the wait, so an unreachable daemon fails in bounded time
+/// instead of hanging the CLI.  `desc` names the endpoint in every error.
+void connect_bounded(int fd, const sockaddr* addr, socklen_t len,
+                     int timeout_ms, const std::string& desc) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, len) < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("connect(" + desc + "): " + std::string(strerror(err)));
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, addr, len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("connect(" + desc + "): " + std::string(strerror(err)));
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      ::close(fd);
+      throw Error("connect(" + desc + "): timed out after " +
+                  std::to_string(timeout_ms) + " ms");
+    }
+    if (rc < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("connect(" + desc + "): " + std::string(strerror(err)));
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) < 0 ||
+        so_error != 0) {
+      ::close(fd);
+      throw Error("connect(" + desc +
+                  "): " + std::string(strerror(so_error ? so_error : errno)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+}
+
+int connect_unix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
@@ -25,16 +78,12 @@ int connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw Error("socket(AF_UNIX): " + std::string(strerror(errno)));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const int err = errno;
-    ::close(fd);
-    throw Error("connect(" + path + "): " + std::string(strerror(err)));
-  }
+  connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                  timeout_ms, path);
   return fd;
 }
 
-int connect_tcp(const std::string& host, int port) {
+int connect_tcp(const std::string& host, int port, int timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -43,13 +92,8 @@ int connect_tcp(const std::string& host, int port) {
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw Error("socket(AF_INET): " + std::string(strerror(errno)));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const int err = errno;
-    ::close(fd);
-    throw Error("connect(" + host + ":" + std::to_string(port) +
-                "): " + std::string(strerror(err)));
-  }
+  connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                  timeout_ms, host + ":" + std::to_string(port));
   return fd;
 }
 
@@ -70,9 +114,11 @@ ServeClient::~ServeClient() { close(); }
 
 void ServeClient::connect(const std::string& endpoint) {
   close();
+  endpoint_ = endpoint;
+  const int t = options_.connect_timeout_ms;
   int port = 0;
   if (endpoint.rfind("unix:", 0) == 0) {
-    fd_ = connect_unix(endpoint.substr(5));
+    fd_ = connect_unix(endpoint.substr(5), t);
   } else if (endpoint.rfind("tcp:", 0) == 0) {
     const std::string rest = endpoint.substr(4);
     const std::size_t colon = rest.rfind(':');
@@ -81,15 +127,15 @@ void ServeClient::connect(const std::string& endpoint) {
         throw Error("bad endpoint (want tcp:PORT or tcp:HOST:PORT): " +
                     endpoint);
       }
-      fd_ = connect_tcp("127.0.0.1", port);
+      fd_ = connect_tcp("127.0.0.1", port, t);
     } else {
       if (!parse_port(rest.substr(colon + 1), &port)) {
         throw Error("bad endpoint port: " + endpoint);
       }
-      fd_ = connect_tcp(rest.substr(0, colon), port);
+      fd_ = connect_tcp(rest.substr(0, colon), port, t);
     }
   } else if (endpoint.find('/') != std::string::npos) {
-    fd_ = connect_unix(endpoint);
+    fd_ = connect_unix(endpoint, t);
   } else {
     const std::size_t colon = endpoint.rfind(':');
     if (colon == std::string::npos) {
@@ -99,15 +145,18 @@ void ServeClient::connect(const std::string& endpoint) {
             "HOST:PORT): " +
             endpoint);
       }
-      fd_ = connect_tcp("127.0.0.1", port);
+      fd_ = connect_tcp("127.0.0.1", port, t);
     } else {
       if (!parse_port(endpoint.substr(colon + 1), &port)) {
         throw Error("bad endpoint port: " + endpoint);
       }
-      fd_ = connect_tcp(endpoint.substr(0, colon), port);
+      fd_ = connect_tcp(endpoint.substr(0, colon), port, t);
     }
   }
   reader_.emplace(fd_);
+  if (options_.read_timeout_ms > 0) {
+    reader_->set_read_timeout(options_.read_timeout_ms);
+  }
 }
 
 void ServeClient::close() {
@@ -121,7 +170,7 @@ void ServeClient::close() {
 void ServeClient::send(const std::string& line) {
   if (fd_ < 0) throw Error("not connected");
   if (!send_line(fd_, line)) {
-    throw Error("daemon connection lost while sending");
+    throw Error("daemon connection to " + endpoint_ + " lost while sending");
   }
 }
 
@@ -133,7 +182,13 @@ std::optional<std::string> ServeClient::read_line() {
 JsonValue ServeClient::request(const std::string& line) {
   send(line);
   std::optional<std::string> response = read_line();
-  if (!response) throw Error("daemon closed the connection");
+  if (!response) {
+    if (timed_out()) {
+      throw Error("daemon at " + endpoint_ + " did not respond within " +
+                  std::to_string(options_.read_timeout_ms) + " ms");
+    }
+    throw Error("daemon at " + endpoint_ + " closed the connection");
+  }
   std::optional<JsonValue> parsed = parse_json(*response);
   if (!parsed) throw Error("daemon sent a malformed response: " + *response);
   return std::move(*parsed);

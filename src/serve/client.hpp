@@ -16,28 +16,50 @@
 
 namespace moheco::serve {
 
+/// Timeouts for one ServeClient.  Zeros (the default) block forever -- the
+/// historical behavior, right for trusted local daemons running long jobs.
+struct ClientOptions {
+  /// Bound on connect(); expiry throws Error naming the endpoint.
+  int connect_timeout_ms = 0;
+  /// Bound on each read_line(); expiry returns nullopt with timed_out()
+  /// set (the connection stays usable -- long optimize jobs legitimately
+  /// go quiet between the ack and the terminal line, so callers decide
+  /// whether a silence is fatal).
+  int read_timeout_ms = 0;
+};
+
 class ServeClient {
  public:
   ServeClient() = default;
+  explicit ServeClient(ClientOptions options) : options_(options) {}
   ~ServeClient();
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  /// Connects to a daemon; throws moheco::Error with the failing endpoint
-  /// on refusal/bad grammar.
+  /// Connects to a daemon; throws moheco::Error naming the failing endpoint
+  /// on refusal/bad grammar/connect timeout.
   void connect(const std::string& endpoint);
   void close();
   bool connected() const { return fd_ >= 0; }
 
-  /// Sends one request line; throws moheco::Error if the daemon is gone.
+  /// Sends one request line; throws moheco::Error naming the endpoint if
+  /// the daemon is gone.
   void send(const std::string& line);
-  /// Next response line, or nullopt once the daemon hangs up.
+  /// Next response line; nullopt once the daemon hangs up OR when
+  /// read_timeout_ms expired (distinguish with timed_out()).
   std::optional<std::string> read_line();
-  /// send() + read one parsed response; throws moheco::Error on EOF or a
-  /// response that is not valid JSON.
+  /// True when the last nullopt from read_line() was a timeout, not EOF.
+  bool timed_out() const { return reader_ && reader_->timed_out(); }
+  /// send() + read one parsed response; throws moheco::Error on EOF,
+  /// timeout, or a response that is not valid JSON.
   JsonValue request(const std::string& line);
 
+  /// The endpoint of the current/last connect(), for error reporting.
+  const std::string& endpoint() const { return endpoint_; }
+
  private:
+  ClientOptions options_;
+  std::string endpoint_;
   int fd_ = -1;
   std::optional<LineReader> reader_;
 };

@@ -372,6 +372,14 @@ void Daemon::handle_submit(const std::shared_ptr<Connection>& conn,
       spec.eval.batch = options_.default_batch;
     }
   }
+  // Daemon-wide deadline default: an explicit per-job deadline_ms always
+  // wins, including an explicit 0 (meaning "this job may run forever").
+  if (options_.default_deadline_ms > 0) {
+    const JsonValue& opts = request["options"];
+    if (!opts.is_object() || opts["deadline_ms"].is_null()) {
+      spec.deadline_ms = options_.default_deadline_ms;
+    }
+  }
   if (stop_requested_.load(std::memory_order_acquire)) {
     conn->send(error_response("submit", kErrShuttingDown,
                               "daemon is shutting down", tag));
@@ -588,6 +596,21 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
         .count();
   };
   const int workers = pool_.num_workers();
+  // Crash-safe checkpoints: give every optimize job a deterministic
+  // checkpoint directory keyed by what identifies its computation (deck
+  // content + pre-checkpoint result fingerprint), and always set resume --
+  // a fresh job finds no checkpoint and starts clean, while a daemon
+  // restarted after a mid-job crash replays the interrupted run from its
+  // last completed generation.  Must happen BEFORE computing rkey: the
+  // checkpoint bit is part of the result fingerprint (checkpoint-mode
+  // scheduler normalization changes warm-path event counters).
+  if (!options_.checkpoint_dir.empty() && job->spec.mode == JobMode::kOptimize) {
+    const std::string ident =
+        deck_content_hash(job->spec.deck_text) + "_" +
+        deck_content_hash(result_fingerprint(job->spec, workers));
+    job->spec.moheco.checkpoint_dir = options_.checkpoint_dir + "/" + ident;
+    job->spec.moheco.resume = true;
+  }
   const std::string rkey = result_cache_key(job->spec, workers);
 
   if (std::optional<CachedResult> hit =
@@ -622,8 +645,43 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
   const std::optional<ResultMap> warm = warm_lookup(wkey);
   const bool warm_hit = warm.has_value() && !warm->empty();
 
+  // Deadline watchdog: one scoped thread that waits out the budget, then
+  // flips the job's cooperative cancel flag.  The optimizer notices at its
+  // next generation boundary, so enforcement granularity is one generation
+  // -- a deliberately cooperative design (no thread is ever killed, the
+  // scheduler and caches stay consistent).
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_finished = false;
+  std::thread watchdog;
+  if (job->spec.deadline_ms > 0) {
+    const long long deadline = job->spec.deadline_ms;
+    watchdog = std::thread([&wd_mutex, &wd_cv, &wd_finished, job, deadline] {
+      std::unique_lock<std::mutex> lock(wd_mutex);
+      const bool finished =
+          wd_cv.wait_for(lock, std::chrono::milliseconds(deadline),
+                         [&wd_finished] { return wd_finished; });
+      if (finished) return;
+      job->deadline_expired.store(true);
+      job->cancel.store(true);
+    });
+  }
+
   const JobResult result =
       runner_.run(job->spec, warm_hit ? &*warm : nullptr, &job->cancel);
+
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mutex);
+      wd_finished = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
+  // A job that produced a complete result right as the deadline fired still
+  // counts as done; only a run actually cut short is reclassified.
+  const bool deadline_hit =
+      !result.ok && job->deadline_expired.load(std::memory_order_relaxed);
 
   if (result.ok) {
     result_store(rkey, result.json, result.sized_deck);
@@ -652,10 +710,11 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
     return;
   }
 
-  const bool cancelled = result.error_code == "cancelled";
-  // A cancelled optimize still exported whatever warm state it built; keep
-  // it so the resubmitted job starts warm.
-  if (cancelled && !result.warm_blobs.empty()) {
+  const bool cancelled = result.error_code == "cancelled" && !deadline_hit;
+  // A cancelled/expired optimize still exported whatever warm state it
+  // built; keep it so the resubmitted job starts warm.
+  if (!result.warm_blobs.empty() &&
+      (cancelled || result.error_code == "cancelled")) {
     warm_store(wkey, result.warm_blobs);
   }
   JsonObject obj;
@@ -663,9 +722,16 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
   obj.add_string("op", "result");
   obj.add_uint("job", job->id);
   obj.add_string("state", cancelled ? "cancelled" : "failed");
-  obj.add_string("code", result.error_code.empty() ? kErrInternal
-                                                   : result.error_code.c_str());
-  obj.add_string("error", result.error);
+  if (deadline_hit) {
+    obj.add_string("code", kErrDeadline);
+    obj.add_string("error", "job exceeded its deadline of " +
+                                std::to_string(job->spec.deadline_ms) + " ms");
+  } else {
+    obj.add_string("code", result.error_code.empty()
+                               ? kErrInternal
+                               : result.error_code.c_str());
+    obj.add_string("error", result.error);
+  }
   obj.add_number("elapsed_ms", elapsed_ms());
   if (!job->tag.empty()) obj.add_string("tag", job->tag);
   {
@@ -695,6 +761,12 @@ std::optional<Daemon::CachedResult> Daemon::result_lookup(
   if (!disk_cache_) return std::nullopt;
   std::optional<std::string> json = disk_cache_->load_text(key + "_json");
   if (!json || json->empty()) return std::nullopt;
+  // A truncated/corrupted on-disk row (crash mid-write, disk damage) must
+  // degrade to a cache miss, never to serving garbage to a client.
+  if (!parse_json(*json)) {
+    log_warn("moheco_d: ignoring corrupted cached result for key ", key);
+    return std::nullopt;
+  }
   CachedResult entry;
   entry.json = std::move(*json);
   if (want_sized_deck) {

@@ -70,6 +70,17 @@ struct DaemonOptions {
   /// ResultsCache backing path for cross-restart persistence of both
   /// caches; empty keeps them memory-only.
   std::string cache_path;
+  /// Wall-clock deadline applied to submitted jobs whose request does not
+  /// set options.deadline_ms itself; an explicit per-job value always wins.
+  /// 0 means no default deadline.  An expired job is cooperatively
+  /// cancelled and answered with state "failed", code "deadline".
+  long long default_deadline_ms = 0;
+  /// Crash-safe optimizer checkpoints: when non-empty, every optimize job
+  /// checkpoints its generation-granular state under
+  /// DIR/<deck-hash>_<fingerprint-hash>/ and resumes from it if present --
+  /// a daemon killed mid-job replays the interrupted run to the identical
+  /// result after restart (bit-identical at --threads=1).
+  std::string checkpoint_dir;
 };
 
 /// Monotonic counters; snapshot with Daemon::stats().
@@ -151,6 +162,10 @@ class Daemon {
     JobSpec spec;
     JobState state = JobState::kQueued;
     std::atomic<bool> cancel{false};
+    /// Set by the deadline watchdog when spec.deadline_ms expired; turns
+    /// the cooperative cancel into a "failed"/"deadline" terminal instead
+    /// of "cancelled".
+    std::atomic<bool> deadline_expired{false};
     /// Owning connection; outlives a disconnect (sends on a closed
     /// connection fail quietly, which is the --detach drop semantics).
     std::shared_ptr<Connection> client;

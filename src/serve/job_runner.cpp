@@ -5,6 +5,8 @@
 
 #include "src/circuits/netlist_problem.hpp"
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
+#include "src/common/failure_ladder.hpp"
 #include "src/common/hash.hpp"
 #include "src/common/json.hpp"
 #include "src/mc/candidate_yield.hpp"
@@ -55,6 +57,13 @@ std::string result_fingerprint(const JobSpec& spec, int workers) {
       << " workers=" << workers << ' ' << warm_fingerprint(spec)
       << " batch=" << spec.eval.batch
       << " sized=" << (spec.want_sized_deck ? 1 : 0);
+  // Fault-containment bits.  ckpt: checkpoint-mode scheduler normalization
+  // changes the warm-path event counters in the JSON, so checkpointed and
+  // plain runs must not share result-cache rows.  faults: an armed run's
+  // results are an injection experiment, never interchangeable with (or
+  // reusable for) a healthy run's.
+  if (!m.checkpoint_dir.empty()) oss << " ckpt=1";
+  if (fail::armed()) oss << " faults=" << fail::spec_string();
   if (spec.mode == JobMode::kEstimate) {
     oss << " samples=" << spec.estimate_samples;
   }
@@ -136,6 +145,29 @@ std::string json_sched_breakdown(const mc::SchedBreakdown& b) {
   return obj.str();
 }
 
+/// Per-reason quarantine counters plus the degradation-ladder stages hit
+/// during this job.  Emitted only when fail points are armed or something
+/// actually degraded, so healthy-run JSON stays byte-identical to before
+/// the fault-containment layer existed.
+std::string json_fail_breakdown(const mc::FailBreakdown& b,
+                                const fail::LadderSnapshot& ladder) {
+  JsonObject obj;
+  obj.add_int("quarantine_open", b.quarantine_open);
+  obj.add_int("quarantine_eval", b.quarantine_eval);
+  obj.add_int("quarantine_screen", b.quarantine_screen);
+  for (int i = 0; i < fail::kNumLadderStages; ++i) {
+    obj.add_int(fail::ladder_name(static_cast<fail::Ladder>(i)),
+                static_cast<long long>(ladder.counts[i]));
+  }
+  obj.add_int("total", b.total() + static_cast<long long>(ladder.total()));
+  return obj.str();
+}
+
+bool want_fail_breakdown(const mc::FailBreakdown& b,
+                         const fail::LadderSnapshot& ladder) {
+  return fail::armed() || b.total() > 0 || ladder.total() > 0;
+}
+
 /// Guarantees the scheduler drops every session/blob tied to a job-local
 /// problem, whatever path run() exits through.
 class ProblemGuard {
@@ -168,6 +200,7 @@ JobResult JobRunner::run(const JobSpec& spec, const ResultMap* warm_blobs,
     out.error = "job cancelled before it started";
     return out;
   }
+  const fail::LadderSnapshot ladder_before = fail::ladder_snapshot();
   try {
     spice::Deck deck = spice::parse_deck_string(spec.deck_text, spec.deck_name);
     circuits::NetlistYieldProblem problem(std::move(deck), spec.eval);
@@ -211,6 +244,12 @@ JobResult JobRunner::run(const JobSpec& spec, const ResultMap* warm_blobs,
                    static_cast<long long>(out.warm_blobs_imported));
       json.add_raw("sched_breakdown",
                    json_sched_breakdown(sims.sched_breakdown()));
+      const fail::LadderSnapshot ladder =
+          fail::ladder_delta(ladder_before, fail::ladder_snapshot());
+      const mc::FailBreakdown fails = sims.fail_breakdown();
+      if (want_fail_breakdown(fails, ladder)) {
+        json.add_raw("fail_breakdown", json_fail_breakdown(fails, ladder));
+      }
     } else {
       json.add_string("mode", "optimize");
       core::MohecoOptions moheco = spec.moheco;
@@ -241,6 +280,12 @@ JobResult JobRunner::run(const JobSpec& spec, const ResultMap* warm_blobs,
       json.add_raw("sim_breakdown", json_sim_breakdown(result.sim_breakdown));
       json.add_raw("sched_breakdown",
                    json_sched_breakdown(result.sched_breakdown));
+      const fail::LadderSnapshot ladder =
+          fail::ladder_delta(ladder_before, fail::ladder_snapshot());
+      if (want_fail_breakdown(result.fail_breakdown, ladder)) {
+        json.add_raw("fail_breakdown",
+                     json_fail_breakdown(result.fail_breakdown, ladder));
+      }
     }
 
     json.add_raw("design", json_design(topology, reported_x));

@@ -54,6 +54,12 @@ struct JobSpec {
   circuits::EvalOptions eval;
   /// Also render the sized deck at the reported design (JobResult::sized_deck).
   bool want_sized_deck = false;
+  /// Wall-clock budget for the job, enforced by the daemon's deadline
+  /// watchdog (cooperative cancel on expiry -> terminal "failed" with code
+  /// "deadline").  0 means no deadline.  Deliberately NOT part of any cache
+  /// fingerprint: a job's result does not depend on how long it was allowed
+  /// to take, so a deadline-free resubmit can hit the cached result.
+  long long deadline_ms = 0;
 };
 
 struct JobResult {

@@ -1,5 +1,6 @@
 #include "src/serve/protocol.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -7,6 +8,7 @@
 #include <cstring>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/spice/mna.hpp"
 #include "src/stats/samplers.hpp"
 
@@ -41,6 +43,8 @@ std::string encode_submit(const JobSpec& spec, const std::string& tag) {
   options.add_string("backend", spice::to_string(spec.eval.backend));
   options.add_int("batch", spec.eval.batch);
   options.add_bool("sized_deck", spec.want_sized_deck);
+  // Only when set: keeps default submits byte-identical to older clients.
+  if (spec.deadline_ms > 0) options.add_int("deadline_ms", spec.deadline_ms);
 
   JsonObject request;
   request.add_string("op", "submit");
@@ -134,6 +138,12 @@ bool decode_submit(const JsonValue& request, JobSpec* spec, std::string* tag,
       }
     } else if (key == "sized_deck") {
       spec->want_sized_deck = value.as_bool();
+    } else if (key == "deadline_ms") {
+      spec->deadline_ms = value.as_int();
+      if (spec->deadline_ms < 0) {
+        *error = "options.deadline_ms must be non-negative";
+        return false;
+      }
     } else {
       *error = "unknown option '" + key + "'";
       return false;
@@ -164,6 +174,7 @@ std::string encode_job_op(const std::string& op, std::uint64_t job) {
 }
 
 bool send_line(int fd, const std::string& line) {
+  if (fail::should_fail(fail::Site::kSockWrite)) return false;
   std::string framed = line;
   framed.push_back('\n');
   std::size_t sent = 0;
@@ -183,7 +194,12 @@ bool send_line(int fd, const std::string& line) {
 }
 
 std::optional<std::string> LineReader::next() {
+  timed_out_ = false;
   if (broken_) return std::nullopt;
+  if (fail::should_fail(fail::Site::kSockRead)) {
+    broken_ = true;
+    return std::nullopt;
+  }
   while (true) {
     const std::size_t newline = buffer_.find('\n', scanned_);
     if (newline != std::string::npos) {
@@ -196,6 +212,24 @@ std::optional<std::string> LineReader::next() {
     if (buffer_.size() > max_line_) {
       broken_ = true;
       return std::nullopt;
+    }
+    if (timeout_ms_ > 0) {
+      struct pollfd pfd {};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms_);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        // Stream stays usable: the caller may retry after handling it.
+        timed_out_ = true;
+        return std::nullopt;
+      }
+      if (rc < 0) {
+        broken_ = true;
+        return std::nullopt;
+      }
     }
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);

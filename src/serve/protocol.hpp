@@ -32,6 +32,9 @@ inline constexpr const char* kErrUnknownJob = "unknown_job";
 inline constexpr const char* kErrCancelled = "cancelled";
 inline constexpr const char* kErrInternal = "internal";
 inline constexpr const char* kErrShuttingDown = "shutting_down";
+/// Job exceeded its wall-clock deadline (JobSpec::deadline_ms or the
+/// daemon's --deadline-ms default); terminal state is "failed".
+inline constexpr const char* kErrDeadline = "deadline";
 
 /// Encodes a submit request line (no trailing newline).  `tag` is an
 /// optional client-chosen correlation id echoed in every response for the
@@ -62,16 +65,28 @@ class LineReader {
   explicit LineReader(int fd, std::size_t max_line = 64u << 20)
       : fd_(fd), max_line_(max_line) {}
 
+  /// Bounds each next() call: when no byte arrives for `ms` milliseconds
+  /// the read gives up (next() returns nullopt with timed_out() set) WITHOUT
+  /// breaking the stream -- a later next() may still succeed.  0 (the
+  /// default) blocks forever.
+  void set_read_timeout(int ms) { timeout_ms_ = ms; }
+
   /// Next complete line (without the '\n'), or nullopt on EOF/error/
-  /// oversized line.
+  /// oversized line/read timeout.
   std::optional<std::string> next();
+
+  /// True when the last nullopt from next() was a read timeout rather than
+  /// EOF or a hard error (timeouts are retryable; broken streams are not).
+  bool timed_out() const { return timed_out_; }
 
  private:
   int fd_;
   std::size_t max_line_;
+  int timeout_ms_ = 0;
   std::string buffer_;
   std::size_t scanned_ = 0;  ///< prefix of buffer_ known to hold no '\n'
   bool broken_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace moheco::serve

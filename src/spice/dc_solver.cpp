@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 
 namespace moheco::spice {
 
@@ -161,6 +162,9 @@ SolveStatus DcSolver::newton_loop(const DcOptions& options, double gmin,
                                   std::vector<double>& x) {
   const std::size_t n = layout_.size();
   const std::size_t nodes = layout_.num_nodes();
+  if (fail::should_fail(fail::Site::kNewton)) {
+    return SolveStatus::kNoConvergence;
+  }
   std::vector<double> x_new(n);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     ++last_iterations_;

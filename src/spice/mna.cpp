@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
+#include "src/common/failure_ladder.hpp"
 
 namespace moheco::spice {
 
@@ -45,6 +47,7 @@ void MnaSystem<Scalar>::reset(std::size_t n, SolverBackend backend) {
   n_ = n;
   sparse_ = resolve_backend(backend, n) == SolverBackend::kSparse;
   pattern_ready_ = false;
+  dense_fallback_ = false;
   rhs_.assign(n, Scalar{});
   if (sparse_) {
     builder_.reset(n);
@@ -174,6 +177,7 @@ bool MnaSystem<Scalar>::factor_batch() {
       batch_rhs_[i * batch_lanes_ + lane] = Scalar{};
     }
   }
+  if (fail::should_fail(fail::Site::kBatchRefactor)) return false;
   // The lane-major staging buffers go to the batched LU as-is: its kernels
   // gather each slot's lanes while scattering columns into the workspace,
   // so no slot-major transpose is ever materialized.
@@ -189,14 +193,31 @@ void MnaSystem<Scalar>::solve_batch(std::vector<Scalar>& b) const {
 
 template <typename Scalar>
 bool MnaSystem<Scalar>::factor() {
-  if (!sparse_) return dense_lu_.factor(dense_a_);
+  dense_fallback_ = false;
+  if (!sparse_) {
+    if (fail::should_fail(fail::Site::kDenseFactor)) return false;
+    return dense_lu_.factor(dense_a_);
+  }
   require(pattern_ready_, "MnaSystem::factor: no assembly captured");
-  return sparse_lu_.factor_with_reuse(sparse_a_);
+  if (!fail::should_fail(fail::Site::kSparseFactor) &&
+      sparse_lu_.factor_with_reuse(sparse_a_)) {
+    return true;
+  }
+  // Degradation ladder: a sparse pivot breakdown retries the same assembly
+  // through dense LU with full partial pivoting before the caller gives the
+  // sample up as infeasible.  Scatter-and-factor is O(n^2)+O(n^3) -- fine
+  // for a rung that only runs on breakdowns.
+  if (fail::should_fail(fail::Site::kDenseFactor)) return false;
+  dense_a_ = sparse_a_.to_dense();
+  if (!dense_lu_.factor(dense_a_)) return false;
+  fail::ladder_count(fail::Ladder::kSparseToDense);
+  dense_fallback_ = true;
+  return true;
 }
 
 template <typename Scalar>
 void MnaSystem<Scalar>::solve(std::vector<Scalar>& b) const {
-  if (!sparse_) {
+  if (!sparse_ || dense_fallback_) {
     dense_lu_.solve(b);
   } else {
     sparse_lu_.solve(b);

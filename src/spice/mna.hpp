@@ -130,7 +130,10 @@ class MnaSystem {
 
   std::vector<Scalar>& rhs() { return rhs_; }
 
-  /// Factors the assembled matrix; false when numerically singular.
+  /// Factors the assembled matrix; false when numerically singular.  On
+  /// the sparse backend a pivot breakdown first retries the assembly
+  /// through dense LU (the sparse_to_dense degradation rung) before
+  /// reporting failure; solve() then follows the fallback factorization.
   bool factor();
   /// Solves in place against the last successful factor().
   void solve(std::vector<Scalar>& b) const;
@@ -203,6 +206,9 @@ class MnaSystem {
   std::size_t n_ = 0;
   bool sparse_ = false;
   bool pattern_ready_ = false;
+  /// Last factor() on the sparse backend went through the dense-LU
+  /// degradation rung (sparse pivot breakdown); solve() follows it.
+  bool dense_fallback_ = false;
   std::vector<Scalar> rhs_;
 
   // Dense backend.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/spice/mosfet.hpp"
 
 namespace moheco::spice {
@@ -272,7 +273,12 @@ SolveStatus TranSolver::run(const TranOptions& options,
   std::size_t next_bp = 0;
 
   while (t < t_stop * (1.0 - 1e-12)) {
-    if (stats_.steps >= options.max_steps) return SolveStatus::kNoConvergence;
+    // An LTE stall (the adaptive controller rejecting steps until the step
+    // budget runs out) and the failpoint both surface as non-convergence.
+    if (stats_.steps >= options.max_steps ||
+        fail::should_fail(fail::Site::kTranStall)) {
+      return SolveStatus::kNoConvergence;
+    }
     // Fixed-step mode marches at exactly dt_init (modulo breakpoint cuts);
     // only the adaptive controller is bounded by [dt_min, dt_max].
     double h = options.adaptive ? std::clamp(h_next, dt_min, dt_max) : dt_init;

@@ -40,6 +40,28 @@ class Rng {
   /// Standard normal variate (Box-Muller with cached spare).
   double normal();
 
+  /// Full generator state (xoshiro words plus the Box-Muller spare), so a
+  /// checkpointed stream resumes at exactly the same position.
+  struct State {
+    std::uint64_t s[4] = {};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.spare = spare_;
+    st.has_spare = has_spare_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
  private:
   std::uint64_t s_[4];
   double spare_ = 0.0;

@@ -242,8 +242,14 @@ TEST(EvalScheduler, SurvivesThrowingSessionConstruction) {
   SimCounter sims;
   CandidateYield bad(problem, {-0.5}, 1);
   CandidateYield good(problem, {0.5}, 2);
-  EXPECT_THROW(scheduler.refine(bad, 10, sims, McOptions{}),
-               InvalidArgument);
+  // Fault containment: the throwing open() quarantines ONLY its candidate
+  // (marked failed with the open reason code) instead of poisoning the
+  // whole flush with an exception.
+  scheduler.refine(bad, 10, sims, McOptions{});
+  EXPECT_TRUE(bad.failed());
+  EXPECT_EQ(bad.fail_reason(), FailEvent::kQuarantineOpen);
+  EXPECT_EQ(bad.samples(), 0);
+  EXPECT_EQ(sims.fail_total(FailEvent::kQuarantineOpen), 1);
   // The failed open must not leave a poisoned cache entry behind: the
   // scheduler stays usable and the good candidate evaluates normally.
   scheduler.refine(good, 10, sims, McOptions{});
