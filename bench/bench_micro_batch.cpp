@@ -54,6 +54,8 @@
 #include "src/linalg/simd_caps.hpp"
 #include "src/mc/candidate_yield.hpp"
 #include "src/mc/eval_scheduler.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/spice/dc_solver.hpp"
 #include "src/spice/mna.hpp"
 #include "src/spice/netlist.hpp"
@@ -559,6 +561,46 @@ int main(int argc, char** argv) {
                          ")");
   }
 
+  // --- Gate 5: observability overhead -- with span tracing and timing
+  // histograms armed (the --trace/--metrics/daemon configuration), the K=8
+  // batched warm path must stay within 3% of its disarmed throughput.
+  // Counters are always-on and therefore inside both measurements; this
+  // gate bounds the cost of the gated instruments (clock reads, histogram
+  // records, trace-ring appends) on the solver hot path.  Median of
+  // per-rep paired ratios, same drift-cancelling scheme as Gate 2.
+  double obs_overhead = 1.0;
+  {
+    std::vector<double> ratios(timing_reps);
+    for (int rep = 0; rep < timing_reps; ++rep) {
+      obs::set_timing_enabled(false);
+      obs::set_trace_enabled(false);
+      const double off_s =
+          run_batched(grid, sys, 2000, timing_samples, 8, nullptr);
+      obs::set_timing_enabled(true);
+      obs::set_trace_enabled(true);
+      const double on_s =
+          run_batched(grid, sys, 2000, timing_samples, 8, nullptr);
+      ratios[rep] = on_s / off_s;
+    }
+    obs::set_timing_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::trace_reset();
+    std::sort(ratios.begin(), ratios.end());
+    obs_overhead = ratios[ratios.size() / 2];
+    if (obs_overhead > 1.03) {
+      std::fprintf(stderr,
+                   "FAIL observability overhead %.4fx > 1.03x on the K=8 "
+                   "batched warm path with tracing+timing armed\n",
+                   obs_overhead);
+      ok = false;
+    }
+    Table obs_table({"instrumentation", "overhead"});
+    char ov[32];
+    std::snprintf(ov, sizeof(ov), "%.4fx", obs_overhead);
+    obs_table.add_row({"tracing + timing armed vs disarmed", ov});
+    obs_table.print(std::cout, "Observability overhead, K=8 warm path");
+  }
+
   std::cout << "gates: bitwise per-sample identity (K=2/4/8), >=" << (k8_wide_width >= 4 ? 3 : 2)
             << "x samples/sec at K=8 (kernel width " << k8_wide_width
             << "), scheduler tallies independent of batch width and thread "
@@ -566,16 +608,17 @@ int main(int argc, char** argv) {
             << (tallies_ok ? "ok" : "FAIL")
             << "), batched transient bit-identical and >=1.8x at K=8 ("
             << (tran_identical && tran_speedup >= 1.8 ? "ok" : "FAIL")
-            << ")\n";
+            << "), observability overhead <=1.03x ("
+            << (obs_overhead <= 1.03 ? "ok" : "FAIL") << ")\n";
 
-  char tail[256];
+  char tail[320];
   std::snprintf(tail, sizeof(tail),
                 ",\"k8_speedup\":%.2f,\"k8_kernel_width\":%d,"
                 "\"tran_speedup\":%.2f,\"tran_identical\":%s,"
-                "\"tally_identical\":%s",
+                "\"tally_identical\":%s,\"obs_overhead\":%.4f",
                 k8_wide_speedup, k8_wide_width, tran_speedup,
                 tran_identical ? "true" : "false",
-                tallies_ok ? "true" : "false");
+                tallies_ok ? "true" : "false", obs_overhead);
   if (!bench::write_bench_json(
           options.json, "bench_micro_batch",
           "\"grid_n\":" + std::to_string(grid.n) + ",\"widths\":[" +

@@ -7,6 +7,7 @@
 
 #include "src/common/log.hpp"
 #include "src/linalg/simd_caps.hpp"
+#include "src/obs/build_info.hpp"
 #include "src/common/parallel.hpp"
 #include "src/mc/candidate_yield.hpp"
 #include "src/mc/eval_scheduler.hpp"
@@ -219,8 +220,10 @@ bool write_bench_json(const std::string& path, const std::string& bench,
   // Every bench JSON carries the host's SIMD capability header: perf
   // numbers are only comparable between runs whose kernels dispatched the
   // same vector width (CI's regression gate checks this before comparing).
-  out << "{\"" << bench << "\":{\"simd\":" << json_simd_caps() << ","
-      << body << "}}\n";
+  // The build identity header pins which binary produced the numbers
+  // (version, compiler, SIMD build flag) for artifact forensics.
+  out << "{\"" << bench << "\":{\"simd\":" << json_simd_caps()
+      << ",\"build\":" << obs::build_json() << "," << body << "}}\n";
   out.flush();
   if (!out) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());

@@ -73,6 +73,18 @@ def main():
         if drop > args.threshold:
             regressions.append(label)
 
+    def check_lower_is_better(label, old, new):
+        # For ratio rows like the observability-overhead gate, where an
+        # INCREASE is the regression direction.
+        if old is None or new is None or old <= 0:
+            return
+        rise = new / old - 1.0
+        marker = " REGRESSION" if rise > args.threshold else ""
+        print(f"  {label:28s} {old:10.4f} -> {new:10.4f}  "
+              f"({rise * 100.0:+.1f}%){marker}")
+        if rise > args.threshold:
+            regressions.append(label)
+
     print(f"gated rows, threshold {args.threshold * 100.0:.0f}% "
           f"(baseline -> current):")
     base_rows = {
@@ -86,6 +98,8 @@ def main():
                   row.get("sps"))
     check("transient K=8 speedup", base.get("tran_speedup"),
           cur.get("tran_speedup"))
+    check_lower_is_better("obs overhead (K=8 armed)", base.get("obs_overhead"),
+                          cur.get("obs_overhead"))
 
     if regressions:
         print(

@@ -36,7 +36,11 @@
 #include "src/common/error.hpp"
 #include "src/common/failpoint.hpp"
 #include "src/common/json.hpp"
+#include "src/common/log.hpp"
 #include "src/common/results_cache.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/job_runner.hpp"
 #include "src/serve/protocol.hpp"
@@ -69,6 +73,9 @@ struct CliOptions {
   int retries = 0;             ///< resubmit attempts after connection loss
   int connect_timeout_ms = 0;  ///< 0 = block
   int read_timeout_ms = 0;     ///< 0 = block
+  // observability (docs/observability.md)
+  std::string trace_path;    ///< Chrome trace-event JSON written at exit
+  std::string metrics_path;  ///< metrics registry snapshot written at exit
 };
 
 void print_usage() {
@@ -126,7 +133,18 @@ void print_usage() {
                "                        result cache)\n"
                "  --connect-timeout-ms=N / --read-timeout-ms=N\n"
                "                        bound the daemon handshake / each response\n"
-               "                        wait (default 0 = block forever)\n");
+               "                        wait (default 0 = block forever)\n"
+               "\n"
+               "observability (docs/observability.md):\n"
+               "  --trace=FILE          arm span tracing; write the Chrome\n"
+               "                        trace-event JSON to FILE at exit (open\n"
+               "                        it in Perfetto or chrome://tracing)\n"
+               "  --metrics=FILE        write the metrics registry snapshot\n"
+               "                        (counters/gauges/histograms) to FILE at exit\n"
+               "  --log-level=LEVEL     debug|info|warn|error|off (default warn;\n"
+               "                        MOHECO_LOG also works)\n"
+               "  --version             print build identity (version, compiler,\n"
+               "                        SIMD capabilities) and exit\n");
 }
 
 bool parse_long(const std::string& text, long long* out) {
@@ -167,6 +185,22 @@ CliOptions parse_cli(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_usage();
       std::exit(0);
+    } else if (arg == "--version") {
+      std::printf("moheco_cli %s\n%s\n", obs::version(),
+                  obs::build_json().c_str());
+      std::exit(0);
+    } else if (key == "--trace") {
+      if (value.empty()) {
+        throw InvalidArgument("moheco_cli: missing file in '" + arg + "'");
+      }
+      cli.trace_path = value;
+    } else if (key == "--metrics") {
+      if (value.empty()) {
+        throw InvalidArgument("moheco_cli: missing file in '" + arg + "'");
+      }
+      cli.metrics_path = value;
+    } else if (key == "--log-level") {
+      set_log_level(parse_log_level(value));
     } else if (key == "--estimate") {
       cli.mode = serve::JobMode::kEstimate;
       if (!value.empty()) cli.estimate_samples = need_int(arg, value);
@@ -585,14 +619,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  // Observability is armed before any work so spans/timers cover the whole
+  // run, and the artifacts are written on every exit path below (a failed
+  // run's trace is exactly the one worth looking at).
+  if (!cli.trace_path.empty()) moheco::obs::set_trace_enabled(true);
+  if (!cli.trace_path.empty() || !cli.metrics_path.empty()) {
+    moheco::obs::set_timing_enabled(true);
+  }
+  const auto write_observability = [&cli] {
+    if (!cli.trace_path.empty() && !moheco::obs::write_trace(cli.trace_path)) {
+      std::fprintf(stderr, "moheco_cli: cannot write %s\n",
+                   cli.trace_path.c_str());
+    }
+    if (!cli.metrics_path.empty() &&
+        !moheco::obs::write_metrics_json(cli.metrics_path)) {
+      std::fprintf(stderr, "moheco_cli: cannot write %s\n",
+                   cli.metrics_path.c_str());
+    }
+  };
   try {
     // --faults wins over the environment; with neither, stay disarmed.
     if (cli.faults.empty()) moheco::fail::arm_from_env();
-    if (!cli.op.empty()) return run_control_op(cli);
-    if (!cli.connect.empty()) return run_connect(cli);
-    return run_local(cli);
+    int code = 0;
+    if (!cli.op.empty()) {
+      code = run_control_op(cli);
+    } else if (!cli.connect.empty()) {
+      code = run_connect(cli);
+    } else {
+      code = run_local(cli);
+    }
+    write_observability();
+    return code;
   } catch (const moheco::Error& e) {
     std::fprintf(stderr, "moheco_cli: %s\n", e.what());
+    write_observability();
     return 1;
   }
 }

@@ -20,6 +20,7 @@
 #include "src/common/error.hpp"
 #include "src/common/failpoint.hpp"
 #include "src/common/log.hpp"
+#include "src/obs/build_info.hpp"
 #include "src/serve/daemon.hpp"
 
 namespace {
@@ -58,7 +59,17 @@ void print_usage() {
                "                        optimize run from its last generation\n"
                "  --faults=SPEC         arm deterministic fail points (docs/faults.md;\n"
                "                        also read from MOHECO_FAULTS)\n"
-               "  --log=LEVEL           debug|info|warn|error|off (default warn)\n");
+               "  --log-level=LEVEL     debug|info|warn|error|off (default warn;\n"
+               "                        --log= is an accepted alias)\n"
+               "\n"
+               "observability (docs/observability.md):\n"
+               "  --trace=FILE          arm span tracing; write the Chrome trace-event\n"
+               "                        JSON to FILE when the daemon stops\n"
+               "  --metrics=FILE        dump the metrics registry snapshot to FILE\n"
+               "                        periodically (atomic rename) and at shutdown\n"
+               "  --metrics-interval-ms=N\n"
+               "                        dump period for --metrics (default 5000)\n"
+               "  --version             print build identity and exit\n");
 }
 
 bool parse_int_flag(const std::string& value, int* out) {
@@ -158,13 +169,35 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "moheco_d: %s\n", e.what());
         return 2;
       }
-    } else if (key == "--log") {
+    } else if (key == "--log" || key == "--log-level") {
       try {
         set_log_level(parse_log_level(value));
       } catch (const Error& e) {
         std::fprintf(stderr, "moheco_d: %s\n", e.what());
         return 2;
       }
+    } else if (key == "--trace") {
+      if (value.empty()) {
+        std::fprintf(stderr, "moheco_d: missing file in '%s'\n", arg.c_str());
+        return 2;
+      }
+      options.trace_path = value;
+    } else if (key == "--metrics") {
+      if (value.empty()) {
+        std::fprintf(stderr, "moheco_d: missing file in '%s'\n", arg.c_str());
+        return 2;
+      }
+      options.metrics_path = value;
+    } else if (key == "--metrics-interval-ms") {
+      if (!parse_int_flag(value, &parsed) || parsed < 1) {
+        std::fprintf(stderr, "moheco_d: bad interval in '%s'\n", arg.c_str());
+        return 2;
+      }
+      options.metrics_interval_ms = parsed;
+    } else if (arg == "--version") {
+      std::printf("moheco_d %s\n%s\n", obs::version(),
+                  obs::build_json().c_str());
+      return 0;
     } else {
       std::fprintf(stderr, "moheco_d: unknown option '%s' (see --help)\n",
                    arg.c_str());

@@ -2,6 +2,9 @@
 
 #include <array>
 #include <atomic>
+#include <string>
+
+#include "src/obs/metrics.hpp"
 
 namespace moheco::fail {
 namespace {
@@ -26,6 +29,15 @@ const char* ladder_name(Ladder stage) {
 
 void ladder_count(Ladder stage) {
   counters()[static_cast<int>(stage)].fetch_add(1, std::memory_order_relaxed);
+  // Mirror each rung into the metrics registry ("fail.<rung>"); the local
+  // array above stays authoritative for ladder_snapshot()/ladder_delta().
+  static obs::Counter* rungs[kNumLadderStages] = {
+      &obs::registry().counter(std::string("fail.") + kStageNames[0]),
+      &obs::registry().counter(std::string("fail.") + kStageNames[1]),
+      &obs::registry().counter(std::string("fail.") + kStageNames[2]),
+      &obs::registry().counter(std::string("fail.") + kStageNames[3]),
+  };
+  rungs[static_cast<int>(stage)]->add(1);
 }
 
 std::uint64_t ladder_total(Ladder stage) {

@@ -1,17 +1,19 @@
 #include "src/common/log.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <cstdio>
-#include <mutex>
+#include <ctime>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_id.hpp"
 
 namespace moheco {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -47,8 +49,29 @@ LogLevel parse_log_level(const std::string& text) {
 namespace detail {
 
 void log_write(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // Prefix with UTC wall time (ms), level, and the dense thread ordinal,
+  // then emit the whole line as ONE write(2) so concurrent daemon/worker
+  // lines never interleave (POSIX write atomicity covers these sizes on
+  // pipes and regular files; stdio buffering would not).
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc{};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+
+  char prefix[64];
+  const int prefix_len = std::snprintf(
+      prefix, sizeof(prefix), "[%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ] [%s] [t%d] ",
+      tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+      tm_utc.tm_min, tm_utc.tm_sec, ts.tv_nsec / 1000000, level_name(level),
+      thread_ordinal());
+
+  std::string line;
+  line.reserve(static_cast<std::size_t>(prefix_len) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(prefix_len));
+  line.append(message);
+  line.push_back('\n');
+  // Best-effort: a failed/partial stderr write has nowhere to report.
+  [[maybe_unused]] ssize_t rc = ::write(STDERR_FILENO, line.data(), line.size());
 }
 
 }  // namespace detail

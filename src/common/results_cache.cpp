@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/common/log.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace moheco {
 namespace {
@@ -40,8 +41,14 @@ std::string ResultsCache::file_for(const std::string& key) const {
 }
 
 std::optional<ResultMap> ResultsCache::load(const std::string& key) const {
+  static obs::Counter& hits = obs::registry().counter("results_cache.hits");
+  static obs::Counter& misses =
+      obs::registry().counter("results_cache.misses");
   std::ifstream in(file_for(key));
-  if (!in) return std::nullopt;
+  if (!in) {
+    misses.add(1);
+    return std::nullopt;
+  }
   ResultMap results;
   std::string line;
   while (std::getline(in, line)) {
@@ -60,11 +67,16 @@ std::optional<ResultMap> ResultsCache::load(const std::string& key) const {
     if (!iss.eof()) {
       log_warn("results cache: ignoring corrupted file ", file_for(key),
                " (unparseable values for '", name, "'); starting empty");
+      misses.add(1);
       return std::nullopt;
     }
     results[name] = std::move(values);
   }
-  if (results.empty()) return std::nullopt;
+  if (results.empty()) {
+    misses.add(1);
+    return std::nullopt;
+  }
+  hits.add(1);
   return results;
 }
 
@@ -110,12 +122,23 @@ void ResultsCache::store(const std::string& key, const ResultMap& results) const
 }
 
 std::optional<std::string> ResultsCache::load_text(const std::string& key) const {
+  static obs::Counter& hits =
+      obs::registry().counter("results_cache.text_hits");
+  static obs::Counter& misses =
+      obs::registry().counter("results_cache.text_misses");
   std::ifstream in(path_ + "/" + sanitize(key) + ".blob",
                    std::ios::in | std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    misses.add(1);
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) return std::nullopt;
+  if (!in.good() && !in.eof()) {
+    misses.add(1);
+    return std::nullopt;
+  }
+  hits.add(1);
   return buffer.str();
 }
 

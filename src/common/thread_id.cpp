@@ -1,0 +1,13 @@
+#include "src/common/thread_id.hpp"
+
+#include <atomic>
+
+namespace moheco {
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return ordinal;
+}
+
+}  // namespace moheco

@@ -1,0 +1,16 @@
+// Small dense per-process thread ids.
+//
+// std::thread::id is opaque and sparse; the observability surfaces (log
+// line prefixes, metric shard selection, Chrome trace `tid` fields) all
+// want a small stable integer instead.  thread_ordinal() hands every
+// thread that asks a dense 1-based ordinal on first use and returns the
+// same value for the thread's lifetime.  Ordinals are never reused, so a
+// trace or log stream never shows two threads under one id.
+#pragma once
+
+namespace moheco {
+
+/// Dense 1-based ordinal of the calling thread, assigned on first call.
+int thread_ordinal();
+
+}  // namespace moheco

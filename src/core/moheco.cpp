@@ -6,6 +6,8 @@
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 #include "src/core/checkpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/opt/nelder_mead.hpp"
 #include "src/stats/rng.hpp"
 
@@ -89,7 +91,10 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
   std::vector<mc::CandidateYield*> screen_batch;
   screen_batch.reserve(count);
   for (auto& c : candidates) screen_batch.push_back(c.get());
-  scheduler_->screen(screen_batch, sims_);
+  {
+    obs::Span screen_span("moheco.screen", static_cast<std::int64_t>(count));
+    scheduler_->screen(screen_batch, sims_);
+  }
 
   // The deferred stage-2 samples just landed; refresh the surviving
   // population's fitness before the new OCBA pool is assembled.
@@ -103,6 +108,8 @@ std::vector<MohecoOptimizer::Evaluated> MohecoOptimizer::evaluate_batch(
     if (c->nominal_feasible() && !c->failed()) ocba_pool.push_back(c.get());
   }
   const int num_feasible_new = static_cast<int>(ocba_pool.size());
+  obs::Span estimate_span("moheco.estimate",
+                          static_cast<std::int64_t>(ocba_pool.size()));
   if (options_.use_ocba) {
     for (Member& m : population_) {
       if (m.tally && !m.tally->failed()) ocba_pool.push_back(m.tally.get());
@@ -196,6 +203,7 @@ std::size_t MohecoOptimizer::best_index() const {
 }
 
 void MohecoOptimizer::local_search(Member& best, GenerationTrace* trace) {
+  obs::Span ls_span("moheco.local_search");
   if (trace != nullptr) trace->local_search_triggered = true;
   opt::NelderMeadOptions nm_options;
   nm_options.max_iterations = options_.nm_max_iterations;
@@ -236,6 +244,9 @@ MohecoResult MohecoOptimizer::run_generations(int generations) {
 }
 
 MohecoResult MohecoOptimizer::run_impl(int max_generations) {
+  obs::Span run_span("moheco.run", max_generations);
+  static obs::Counter& c_runs = obs::registry().counter("moheco.runs");
+  c_runs.add(1);
   MohecoResult result;
   sims_.reset();
   // A previous run that threw mid-generation can leave deferred stage-2
@@ -311,6 +322,18 @@ MohecoResult MohecoOptimizer::run_impl(int max_generations) {
       result.cancelled = true;
       break;
     }
+    obs::Span gen_span("moheco.generation", gen);
+    static obs::Counter& c_gens = obs::registry().counter("moheco.generations");
+    static obs::Histogram& gen_ms =
+        obs::registry().histogram("moheco.generation_ms");
+    c_gens.add(1);
+    struct GenTimer {
+      obs::Histogram& hist;
+      std::uint64_t start = obs::timing_enabled() ? obs::now_ns() : 0;
+      ~GenTimer() {
+        if (start != 0) hist.record((obs::now_ns() - start) / 1000000);
+      }
+    } gen_timer{gen_ms};
     GenerationTrace trace;
     trace.generation = gen;
 

@@ -7,6 +7,7 @@
 #include "src/linalg/simd_caps.hpp"
 #include "src/linalg/sparse_kernels.hpp"
 #include "src/linalg/sparse_wide.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace moheco::linalg {
 namespace {
@@ -432,6 +433,12 @@ bool SparseLuBatch<Scalar>::refactor_impl(const SparseLuSolver<Scalar>& host,
                                           std::size_t slot_stride,
                                           std::size_t lane_stride,
                                           std::size_t lanes) {
+  static obs::Counter& refactors =
+      obs::registry().counter("linalg.batch_refactors");
+  static obs::Histogram& refactor_us =
+      obs::registry().histogram("linalg.batch_refactor_us");
+  refactors.add(1);
+  obs::ScopedTimer timer(refactor_us);
   lanes_ = 0;
   if (!host.analyzed_ || lanes == 0) return false;
   require(a.size() == host.n_, "SparseLuBatch::refactor: size mismatch");

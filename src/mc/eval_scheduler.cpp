@@ -7,6 +7,8 @@
 #include "src/common/error.hpp"
 #include "src/common/failpoint.hpp"
 #include "src/common/hash.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace moheco::mc {
 
@@ -308,6 +310,11 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
     retained_.clear();
     return;
   }
+  obs::Span flush_span("sched.flush",
+                       static_cast<std::int64_t>(pending_.size()));
+  static obs::Histogram& flush_us =
+      obs::registry().histogram("sched.flush_us");
+  obs::ScopedTimer flush_timer(flush_us);
   // Blocks blob-store maintenance (export/import/forget from other
   // threads) until this job set drains; the workers walk the caches
   // without further locking, exactly as before.
@@ -528,14 +535,38 @@ void EvalScheduler::flush(SimCounter& sims, SimPhase phase) {
       sims.add(phase_totals[p], static_cast<SimPhase>(p));
     }
   }
-  sims.add_event(SchedEvent::kSessionHit, session_hits() - hits_before);
-  sims.add_event(SchedEvent::kSessionOpenCold,
-                 cold_opens_.load(std::memory_order_relaxed) - cold_before);
-  sims.add_event(SchedEvent::kSessionOpenWarm,
-                 warm_opens_.load(std::memory_order_relaxed) - warm_before);
+  const long long flush_session_hits = session_hits() - hits_before;
+  const long long flush_cold =
+      cold_opens_.load(std::memory_order_relaxed) - cold_before;
+  const long long flush_warm =
+      warm_opens_.load(std::memory_order_relaxed) - warm_before;
+  sims.add_event(SchedEvent::kSessionHit, flush_session_hits);
+  sims.add_event(SchedEvent::kSessionOpenCold, flush_cold);
+  sims.add_event(SchedEvent::kSessionOpenWarm, flush_warm);
   sims.add_event(SchedEvent::kAffinityHit, flush_hits);
   sims.add_event(SchedEvent::kSteal, flush_steals);
   sims.add_event(SchedEvent::kMigration, flush_migrations);
+
+  // Process-global registry totals over the same deltas SimCounter just
+  // recorded (SimCounter stays the per-run view; see docs/observability.md).
+  {
+    static obs::Counter& c_session_hits =
+        obs::registry().counter("sched.session_hits");
+    static obs::Counter& c_cold = obs::registry().counter("sched.cold_opens");
+    static obs::Counter& c_warm = obs::registry().counter("sched.warm_opens");
+    static obs::Counter& c_aff =
+        obs::registry().counter("sched.affinity_hits");
+    static obs::Counter& c_steals = obs::registry().counter("sched.steals");
+    static obs::Counter& c_migr = obs::registry().counter("sched.migrations");
+    static obs::Counter& c_flushes = obs::registry().counter("sched.flushes");
+    c_session_hits.add(static_cast<std::uint64_t>(flush_session_hits));
+    c_cold.add(static_cast<std::uint64_t>(flush_cold));
+    c_warm.add(static_cast<std::uint64_t>(flush_warm));
+    c_aff.add(static_cast<std::uint64_t>(flush_hits));
+    c_steals.add(static_cast<std::uint64_t>(flush_steals));
+    c_migr.add(static_cast<std::uint64_t>(flush_migrations));
+    c_flushes.add(1);
+  }
   pending_.clear();
   retained_.clear();
 }

@@ -1,0 +1,204 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/common/log.hpp"
+#include "src/common/thread_id.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace moheco::obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::int64_t arg;
+  bool has_arg;
+};
+
+// One ring per thread.  The owning thread pushes under the ring mutex
+// (uncontended except during export); spans are coarse enough that the
+// lock is noise.  Rings are owned by the global list, never freed, so a
+// thread that exits before export loses nothing.
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // capacity fixed at registration
+  std::size_t next = 0;            // ring cursor
+  std::uint64_t dropped = 0;
+  int tid = 0;
+
+  ThreadRing() { events.reserve(kTraceRingCapacity); }
+
+  void push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < kTraceRingCapacity) {
+      events.push_back(event);
+    } else {
+      events[next] = event;
+      ++dropped;
+    }
+    next = (next + 1) % kTraceRingCapacity;
+  }
+};
+
+struct RingList {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+};
+
+RingList& ring_list() {
+  static RingList list;
+  return list;
+}
+
+ThreadRing& thread_ring() {
+  thread_local ThreadRing* ring = [] {
+    auto owned = std::make_unique<ThreadRing>();
+    owned->tid = thread_ordinal();
+    ThreadRing* raw = owned.get();
+    RingList& list = ring_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool trace_enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns, std::int64_t arg, bool has_arg) {
+  thread_ring().push(TraceEvent{name, start_ns,
+                                end_ns > start_ns ? end_ns - start_ns : 0, arg,
+                                has_arg});
+}
+
+}  // namespace detail
+
+Span::Span(const char* name, std::int64_t arg, bool has_arg)
+    : name_(trace_enabled() ? name : nullptr),
+      start_ns_(name_ ? now_ns() : 0),
+      arg_(arg),
+      has_arg_(has_arg) {}
+
+void Span::end() {
+  detail::record_span(name_, start_ns_, now_ns(), arg_, has_arg_);
+}
+
+std::size_t trace_event_count() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void trace_reset() {
+  RingList& list = ring_list();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string trace_json() {
+  struct Tagged {
+    TraceEvent event;
+    int tid;
+  };
+  std::vector<Tagged> all;
+  {
+    RingList& list = ring_list();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    for (const auto& ring : list.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      for (const TraceEvent& event : ring->events)
+        all.push_back(Tagged{event, ring->tid});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.event.start_ns < b.event.start_ns;
+  });
+  const std::uint64_t base_ns = all.empty() ? 0 : all.front().event.start_ns;
+
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Tagged& tagged : all) {
+    if (!first) oss << ',';
+    first = false;
+    const TraceEvent& e = tagged.event;
+    // Chrome trace timestamps are microseconds; keep nanosecond precision
+    // with a fractional part.
+    const std::uint64_t rel_ns = e.start_ns - base_ns;
+    oss << "{\"name\":\"" << json_escape(e.name)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tagged.tid << ",\"ts\":"
+        << rel_ns / 1000 << '.' << static_cast<char>('0' + (rel_ns % 1000) / 100)
+        << static_cast<char>('0' + (rel_ns % 100) / 10)
+        << static_cast<char>('0' + rel_ns % 10) << ",\"dur\":" << e.dur_ns / 1000
+        << '.' << static_cast<char>('0' + (e.dur_ns % 1000) / 100)
+        << static_cast<char>('0' + (e.dur_ns % 100) / 10)
+        << static_cast<char>('0' + e.dur_ns % 10);
+    if (e.has_arg) oss << ",\"args\":{\"n\":" << e.arg << '}';
+    oss << '}';
+  }
+  oss << "],\"displayTimeUnit\":\"ms\"}";
+  return oss.str();
+}
+
+bool write_trace(const std::string& path) {
+  const std::string body = trace_json();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    log_error("trace: cannot open ", path);
+    return false;
+  }
+  out << body << '\n';
+  out.flush();
+  if (!out) {
+    log_error("trace: write failed for ", path);
+    return false;
+  }
+  const std::size_t dropped = trace_dropped_count();
+  if (dropped > 0)
+    log_warn("trace: ", dropped, " events dropped (ring capacity ",
+             kTraceRingCapacity, " per thread)");
+  return true;
+}
+
+}  // namespace moheco::obs

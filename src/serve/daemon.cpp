@@ -14,6 +14,9 @@
 
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/protocol.hpp"
 
 namespace moheco::serve {
@@ -154,6 +157,23 @@ void Daemon::start() {
     listen_fds_.push_back(make_tcp_listener(options_.tcp_port, &tcp_port_));
   }
   started_.store(true, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
+  // A daemon always keeps its timing instruments armed: op=stats serves the
+  // latency histograms.  Tracing stays opt-in (--trace=FILE).
+  obs::set_timing_enabled(true);
+  if (!options_.trace_path.empty()) obs::set_trace_enabled(true);
+  if (!options_.metrics_path.empty()) {
+    metrics_thread_ = std::thread([this] {
+      const auto interval = std::chrono::milliseconds(
+          options_.metrics_interval_ms > 0 ? options_.metrics_interval_ms
+                                           : 5000);
+      std::unique_lock<std::mutex> lock(metrics_mutex_);
+      while (!metrics_cv_.wait_for(lock, interval,
+                                   [this] { return metrics_stop_; })) {
+        obs::write_metrics_json(options_.metrics_path);
+      }
+    });
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   for (const int fd : listen_fds_) {
     accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
@@ -185,6 +205,11 @@ void Daemon::request_stop() {
   // Client connections stay OPEN here -- the in-flight job's terminal line
   // still has to go out; wait() tears them down once the dispatcher drains.
   for (const int fd : listen_fds_) ::shutdown(fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_stop_ = true;
+  }
+  metrics_cv_.notify_all();
   cv_.notify_all();
 }
 
@@ -225,6 +250,15 @@ void Daemon::wait() {
       connection_threads_.erase(it);
     }
     if (victim.joinable()) victim.join();
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (!options_.metrics_path.empty()) {
+    obs::write_metrics_json(options_.metrics_path);
+  }
+  if (!options_.trace_path.empty()) {
+    if (obs::write_trace(options_.trace_path)) {
+      log_info("moheco_d: wrote trace to ", options_.trace_path);
+    }
   }
   for (const int fd : listen_fds_) ::close(fd);
   listen_fds_.clear();
@@ -307,6 +341,10 @@ void Daemon::reap_finished_threads_locked() {
 
 void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
                             const std::string& line) {
+  static obs::Counter& c_requests = obs::registry().counter("serve.requests");
+  static obs::Histogram& op_us = obs::registry().histogram("serve.op_us");
+  c_requests.add(1);
+  obs::ScopedTimer op_timer(op_us);
   const std::optional<JsonValue> parsed = parse_json(line);
   if (!parsed || !parsed->is_object() || !(*parsed)["op"].is_string()) {
     {
@@ -334,6 +372,7 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
     obj.add_string("op", "ping");
     obj.add_string("server", "moheco_d");
     obj.add_int("protocol", 1);
+    obj.add_raw("build", obs::build_json());
     conn->send(obj.str());
   } else if (op == "shutdown") {
     JsonObject obj;
@@ -385,9 +424,11 @@ void Daemon::handle_submit(const std::shared_ptr<Connection>& conn,
                               "daemon is shutting down", tag));
     return;
   }
+  static obs::Gauge& g_depth = obs::registry().gauge("serve.queue_depth");
   std::lock_guard<std::mutex> lock(mutex_);
   if (queued_count_ >= options_.queue_depth) {
     ++stats_.rejected;
+    obs::registry().counter("serve.rejects").add(1);
     conn->send(error_response(
         "submit", kErrRejected,
         "queue full (" + std::to_string(queued_count_) +
@@ -420,6 +461,7 @@ void Daemon::handle_submit(const std::shared_ptr<Connection>& conn,
   }
   queue.push_back(job);
   ++queued_count_;
+  g_depth.set(static_cast<std::int64_t>(queued_count_));
   ++stats_.submitted;
   JsonObject ack;
   ack.add_bool("ok", true);
@@ -470,6 +512,8 @@ void Daemon::handle_cancel(const std::shared_ptr<Connection>& conn,
       // connection than the canceller) gets the terminal line now.
       job->state = JobState::kCancelled;
       --queued_count_;
+      obs::registry().gauge("serve.queue_depth").set(
+          static_cast<std::int64_t>(queued_count_));
       ++stats_.cancelled;
       send_terminal(job, cancelled_terminal(job->id, "cancelled while queued",
                                             job->tag));
@@ -523,6 +567,34 @@ void Daemon::handle_stats(const std::shared_ptr<Connection>& conn) {
   obj.add_uint("live_sessions", runner_.scheduler().live_sessions());
   obj.add_int("session_hits", runner_.scheduler().session_hits());
   obj.add_int("warm_opens", runner_.scheduler().warm_opens());
+  // Introspection extension (docs/protocol.md "stats"): uptime, cache hit
+  // rates, build identity, and the full obs::Registry snapshot (latency
+  // histograms included).
+  obj.add_int("uptime_ms",
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start_time_)
+                  .count());
+  {
+    long long hits = 0, misses = 0, warm_hits = 0, ran = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      hits = stats_.result_hits;
+      misses = stats_.result_misses;
+      warm_hits = stats_.warm_hit_jobs;
+      ran = stats_.result_misses;
+    }
+    obj.add_number("result_hit_rate",
+                   hits + misses > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0);
+    obj.add_number("warm_hit_rate",
+                   ran > 0 ? static_cast<double>(warm_hits) /
+                                 static_cast<double>(ran)
+                           : 0.0);
+  }
+  obj.add_raw("build", obs::build_json());
+  obj.add_raw("metrics", obs::registry().snapshot().to_json());
   conn->send(obj.str());
 }
 
@@ -565,6 +637,8 @@ std::shared_ptr<Daemon::Job> Daemon::pop_next_locked() {
         job = queue.front();
         queue.pop_front();
         --queued_count_;
+        obs::registry().gauge("serve.queue_depth").set(
+            static_cast<std::int64_t>(queued_count_));
         break;
       }
       queue.pop_front();
@@ -589,6 +663,9 @@ void Daemon::send_terminal(const std::shared_ptr<Job>& job,
 }
 
 void Daemon::run_job(const std::shared_ptr<Job>& job) {
+  obs::Span job_span("serve.job", static_cast<std::int64_t>(job->id));
+  static obs::Histogram& job_ms = obs::registry().histogram("serve.job_us");
+  obs::ScopedTimer job_timer(job_ms);
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&start] {
     return std::chrono::duration<double, std::milli>(
@@ -630,6 +707,8 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       job->state = JobState::kDone;
       ++stats_.result_hits;
       ++stats_.completed;
+      obs::registry().counter("serve.result_hits").add(1);
+      obs::registry().counter("serve.jobs_completed").add(1);
     }
     // Terminal lines go out without mutex_: a slow client must stall only
     // its own connection, never the dispatcher.
@@ -639,6 +718,7 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.result_misses;
+    obs::registry().counter("serve.result_misses").add(1);
   }
 
   const std::string wkey = warm_cache_key(job->spec);
@@ -702,6 +782,7 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       std::lock_guard<std::mutex> lock(mutex_);
       job->state = JobState::kDone;
       ++stats_.completed;
+      obs::registry().counter("serve.jobs_completed").add(1);
       if (warm_hit) ++stats_.warm_hit_jobs;
       stats_.warm_blobs_imported +=
           static_cast<long long>(result.warm_blobs_imported);
@@ -739,8 +820,10 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
     job->state = cancelled ? JobState::kCancelled : JobState::kFailed;
     if (cancelled) {
       ++stats_.cancelled;
+      obs::registry().counter("serve.jobs_cancelled").add(1);
     } else {
       ++stats_.failed;
+      obs::registry().counter("serve.jobs_failed").add(1);
     }
   }
   send_terminal(job, obj.str());

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -81,6 +82,14 @@ struct DaemonOptions {
   /// a daemon killed mid-job replays the interrupted run to the identical
   /// result after restart (bit-identical at --threads=1).
   std::string checkpoint_dir;
+  /// Chrome trace-event export: when non-empty, span tracing is armed at
+  /// start() and the buffered trace is written here when the daemon stops.
+  std::string trace_path;
+  /// Periodic metrics dump: when non-empty, the obs::Registry snapshot is
+  /// written here (atomic rename) every metrics_interval_ms and once more
+  /// at shutdown.
+  std::string metrics_path;
+  long long metrics_interval_ms = 5000;
 };
 
 /// Monotonic counters; snapshot with Daemon::stats().
@@ -217,6 +226,12 @@ class Daemon {
   int tcp_port_ = -1;
   std::vector<std::thread> accept_threads_;
   std::thread dispatcher_;
+  std::chrono::steady_clock::time_point start_time_{};
+  /// Periodic --metrics dump thread (runs only when metrics_path is set).
+  std::thread metrics_thread_;
+  std::mutex metrics_mutex_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
 
   mutable std::mutex mutex_;  ///< guards everything below
   std::condition_variable cv_;

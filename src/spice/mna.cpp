@@ -6,6 +6,8 @@
 #include "src/common/error.hpp"
 #include "src/common/failpoint.hpp"
 #include "src/common/failure_ladder.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace moheco::spice {
 
@@ -163,6 +165,13 @@ void MnaSystem<Scalar>::end_lane() {
 template <typename Scalar>
 bool MnaSystem<Scalar>::factor_batch() {
   require(batch_lanes_ > 0, "MnaSystem::factor_batch: no open batch");
+  static obs::Counter& factors =
+      obs::registry().counter("solver.batch_factors");
+  static obs::Histogram& factor_us =
+      obs::registry().histogram("solver.factor_batch_us");
+  factors.add(1);
+  obs::ScopedTimer timer(factor_us);
+  obs::Span span("mna.factor_batch", static_cast<std::int64_t>(batch_lanes_));
   // A lane never stamped since begin_batch() must read as all-zero
   // (singular -> breakdown), not as the previous batch's stale values.
   for (std::size_t lane = 0; lane < batch_lanes_; ++lane) {
@@ -188,11 +197,18 @@ bool MnaSystem<Scalar>::factor_batch() {
 
 template <typename Scalar>
 void MnaSystem<Scalar>::solve_batch(std::vector<Scalar>& b) const {
+  static obs::Counter& solves = obs::registry().counter("solver.batch_solves");
+  solves.add(1);
   batch_lu_.solve(b);
 }
 
 template <typename Scalar>
 bool MnaSystem<Scalar>::factor() {
+  static obs::Counter& factors = obs::registry().counter("solver.factors");
+  static obs::Histogram& factor_us =
+      obs::registry().histogram("solver.factor_us");
+  factors.add(1);
+  obs::ScopedTimer timer(factor_us);
   dense_fallback_ = false;
   if (!sparse_) {
     if (fail::should_fail(fail::Site::kDenseFactor)) return false;
@@ -217,6 +233,8 @@ bool MnaSystem<Scalar>::factor() {
 
 template <typename Scalar>
 void MnaSystem<Scalar>::solve(std::vector<Scalar>& b) const {
+  static obs::Counter& solves = obs::registry().counter("solver.solves");
+  solves.add(1);
   if (!sparse_ || dense_fallback_) {
     dense_lu_.solve(b);
   } else {

@@ -5,6 +5,8 @@
 
 #include "src/common/error.hpp"
 #include "src/common/failpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/spice/mosfet.hpp"
 
 namespace moheco::spice {
@@ -244,6 +246,27 @@ SolveStatus TranSolver::run(const TranOptions& options,
   time_.clear();
   node_v_.clear();
 
+  // Whatever exit path the integration takes, account the run: wall time
+  // (timing-gated), accepted steps, and the Newton-iteration distribution.
+  static obs::Histogram& run_us = obs::registry().histogram("tran.run_us");
+  obs::ScopedTimer run_timer(run_us);
+  obs::Span run_span("tran.run");
+  struct StatsRecorder {
+    const TranStats& stats;
+    ~StatsRecorder() {
+      static obs::Counter& runs = obs::registry().counter("tran.runs");
+      static obs::Counter& steps = obs::registry().counter("tran.steps");
+      static obs::Counter& newton =
+          obs::registry().counter("tran.newton_iterations");
+      static obs::Histogram& newton_h =
+          obs::registry().histogram("tran.newton_iters");
+      runs.add(1);
+      steps.add(static_cast<std::uint64_t>(stats.steps));
+      newton.add(static_cast<std::uint64_t>(stats.newton_iterations));
+      newton_h.record(static_cast<std::uint64_t>(stats.newton_iterations));
+    }
+  } record{stats_};
+
   // --- t = 0 state: a converged DC operating point. ---
   std::vector<double> x;
   if (initial_op != nullptr && initial_op->size() == n) {
@@ -370,6 +393,13 @@ bool TranSolver::run_batch(
   const double dt_max = options.dt_max > 0.0 ? options.dt_max : t_stop / 50.0;
   if (!(dt_min <= dt_init && dt_init <= t_stop)) return false;
   if (options.max_steps <= 0) return false;
+
+  static obs::Counter& batch_runs = obs::registry().counter("tran.batch_runs");
+  static obs::Histogram& batch_us =
+      obs::registry().histogram("tran.run_batch_us");
+  batch_runs.add(1);
+  obs::ScopedTimer batch_timer(batch_us);
+  obs::Span batch_span("tran.run_batch", static_cast<std::int64_t>(lanes));
 
   const std::vector<double> bps = build_breakpoints(t_stop);
   const std::size_t nodes = layout_.num_nodes();

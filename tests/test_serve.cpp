@@ -23,6 +23,8 @@
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
 #include "src/common/parallel.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/client.hpp"
 #include "src/serve/daemon.hpp"
 #include "src/serve/job_runner.hpp"
@@ -590,6 +592,72 @@ TEST(Daemon, ShutdownOpCancelsQueuedJobsAndStops) {
   EXPECT_FALSE(daemon.running());
   // The socket file is gone; late submits cannot reach a half-dead daemon.
   EXPECT_NE(::access(options.socket_path.c_str(), F_OK), 0);
+}
+
+// --- observability: op=stats snapshot + build identity in ping ----------
+
+TEST(Daemon, StatsExposesObservabilitySnapshot) {
+  const std::string deck = read_file(example_deck_path());
+  TempDir dir;
+  DaemonOptions options;
+  options.socket_path = dir.file("d.sock");
+  options.threads = 1;
+  Daemon daemon(options);
+  // The obs registry is process-global and monotonic, so counter
+  // assertions compare against a snapshot taken before this daemon runs.
+  const auto counter_before = [](const char* name) {
+    return obs::registry().counter(name).value();
+  };
+  const std::uint64_t jobs_before = counter_before("serve.jobs_completed");
+  const std::uint64_t hits_before = counter_before("serve.result_hits");
+  const std::uint64_t misses_before = counter_before("serve.result_misses");
+  const std::uint64_t requests_before = counter_before("serve.requests");
+  daemon.start();
+
+  ServeClient client;
+  client.connect(options.socket_path);
+  const JobSpec spec = estimate_spec(deck, 31);
+  client.send(encode_submit(spec, ""));
+  EXPECT_EQ(read_terminal(client)["state"].as_string(), "done");
+  client.send(encode_submit(spec, ""));  // exact repeat: result-cache hit
+  EXPECT_TRUE(read_terminal(client)["cached"].as_bool());
+
+  const JsonValue stats = client.request(encode_op("stats"));
+  ASSERT_TRUE(stats["ok"].as_bool());
+  // Legacy counters keep their meaning...
+  EXPECT_EQ(stats["submitted"].as_int(), 2);
+  EXPECT_EQ(stats["completed"].as_int(), 2);
+  EXPECT_EQ(stats["result_hits"].as_int(), 1);
+  EXPECT_EQ(stats["result_misses"].as_int(), 1);
+  // ...and the observability extension rides alongside them.
+  EXPECT_GE(stats["uptime_ms"].as_int(), 0);
+  EXPECT_DOUBLE_EQ(stats["result_hit_rate"].as_number(-1.0), 0.5);
+  ASSERT_TRUE(stats["build"].is_object());
+  EXPECT_EQ(stats["build"]["version"].as_string(), obs::version());
+  ASSERT_TRUE(stats["build"]["simd_caps"].is_object());
+
+  // The embedded registry snapshot's serve.* counters agree with the
+  // daemon's own accounting for the traffic this test generated.
+  const JsonValue& metrics = stats["metrics"];
+  ASSERT_TRUE(metrics.is_object());
+  const JsonValue& counters = metrics["counters"];
+  ASSERT_TRUE(counters.is_object());
+  EXPECT_EQ(counters["serve.jobs_completed"].as_uint() - jobs_before, 2u);
+  EXPECT_EQ(counters["serve.result_hits"].as_uint() - hits_before, 1u);
+  EXPECT_EQ(counters["serve.result_misses"].as_uint() - misses_before, 1u);
+  // submit x2 + stats itself = at least 3 requests from this client.
+  EXPECT_GE(counters["serve.requests"].as_uint() - requests_before, 3u);
+  // The daemon arms timing at start(), so per-op latency histograms and
+  // the job-duration histogram have samples.
+  const JsonValue& histograms = metrics["histograms"];
+  ASSERT_TRUE(histograms.is_object());
+  EXPECT_GT(histograms["serve.op_us"]["count"].as_int(), 0);
+  EXPECT_GT(histograms["serve.job_us"]["count"].as_int(), 0);
+
+  // op=ping carries the same build identity object.
+  const JsonValue pong = client.request(encode_op("ping"));
+  ASSERT_TRUE(pong["build"].is_object());
+  EXPECT_EQ(pong["build"]["version"].as_string(), obs::version());
 }
 
 }  // namespace
